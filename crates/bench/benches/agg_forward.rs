@@ -1,0 +1,42 @@
+//! Ablation bench: forward-pass cost of the three aggregation modes at
+//! equal history coverage (DESIGN.md §5). Multi-timescale covers a
+//! 256-packet history at 48-slot encoder cost; "no aggregation" covers
+//! only 48 packets; fixed aggregation covers 240 but loses packet-level
+//! recency. This quantifies the compute side of Table 1's trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntt_core::{Aggregation, Ntt, NttConfig};
+use ntt_data::NUM_FEATURES;
+use ntt_tensor::{Tape, Tensor};
+
+fn agg_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agg_forward");
+    group.sample_size(10);
+    for (label, agg) in [
+        ("multiscale_256", Aggregation::MultiScale { block: 5 }),
+        ("fixed_240", Aggregation::Fixed { block: 5 }),
+        ("none_48", Aggregation::None),
+    ] {
+        let cfg = NttConfig {
+            aggregation: agg,
+            d_model: 32,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 64,
+            ..NttConfig::default()
+        };
+        let model = Ntt::new(cfg);
+        let x = Tensor::randn(&[8, cfg.seq_len(), NUM_FEATURES], 1);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let y = model.forward(&tape, tape.input(x.clone()));
+                std::hint::black_box(y.value());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, agg_forward);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! §2 claim: attention cost scales quadratically with sequence length —
+//! the motivation for the NTT's aggregation layer. This bench sweeps
+//! the sequence length at fixed model width; plotting time against T
+//! should show the superlinear growth the paper argues makes raw
+//! 1024-packet sequences impractical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntt_nn::MultiHeadAttention;
+use ntt_tensor::{Tape, Tensor};
+
+fn attention_scaling(c: &mut Criterion) {
+    let d_model = 32;
+    let mha = MultiHeadAttention::new("bench", d_model, 4, 0);
+    let mut group = c.benchmark_group("attention_scaling");
+    group.sample_size(10);
+    for t in [16usize, 48, 96, 192, 384] {
+        let x = Tensor::randn(&[1, t, d_model], t as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let y = mha.forward(&tape, tape.input(x.clone()));
+                std::hint::black_box(y.value());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, attention_scaling);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Matmul kernel throughput — the compute substrate under every
+//! training number in Tables 1-3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntt_tensor::kernels::gemm_nn;
+use ntt_tensor::Tensor;
+
+fn matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for n in [32usize, 64, 128, 256] {
+        let a = Tensor::randn(&[n * n], 1).into_data();
+        let b = Tensor::randn(&[n * n], 2).into_data();
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut c = vec![0.0f32; n * n];
+                gemm_nn(&a, &b, &mut c, n, n, n);
+                std::hint::black_box(c)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn train_step(c: &mut Criterion) {
+    // One full forward+backward+Adam step of the quick-scale NTT —
+    // the unit cost behind every training-time row in Tables 2/3.
+    use ntt_core::{Aggregation, DelayHead, Ntt, NttConfig};
+    use ntt_nn::{Adam, LrSchedule, Module};
+    use ntt_tensor::{Tape, Tensor};
+    let cfg = NttConfig {
+        aggregation: Aggregation::MultiScale { block: 5 },
+        d_model: 32,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 64,
+        ..NttConfig::default()
+    };
+    let model = Ntt::new(cfg);
+    let head = DelayHead::new(32, 0);
+    let mut params = model.params();
+    params.extend(head.params());
+    let mut opt = Adam::new(params, LrSchedule::Constant(1e-3));
+    let x = Tensor::randn(&[32, cfg.seq_len(), ntt_data::NUM_FEATURES], 3);
+    let y = Tensor::randn(&[32, 1], 4);
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    group.bench_function("quick_scale_b32", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let pred = head.forward(&tape, model.forward(&tape, tape.input(x.clone())));
+            let loss = pred.mse_loss(&y);
+            tape.backward(loss);
+            opt.step();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, matmul, train_step);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Simulator substrate throughput: events per second for the Fig. 4
+//! pre-training scenario. Dataset generation cost is part of the
+//! paper's economics (collecting fine-tuning data is "expensive"); this
+//! pins down what our ns-3 substitute costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ntt_sim::scenarios::{run, Scenario, ScenarioConfig};
+use ntt_sim::SimTime;
+
+fn sim_throughput(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        duration: SimTime::from_secs(2),
+        drain: SimTime::from_millis(500),
+        ..ScenarioConfig::default()
+    };
+    // Count events once for throughput accounting.
+    let probe = run(Scenario::Pretrain, &cfg);
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(probe.events));
+    group.bench_function("pretrain_2s_60_senders", |b| {
+        b.iter(|| std::hint::black_box(run(Scenario::Pretrain, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

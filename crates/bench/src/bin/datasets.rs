@@ -1,0 +1,91 @@
+//! Regenerates **Fig. 4's datasets** and prints their statistics: the
+//! dataset-generation setup is the paper's only data-bearing figure.
+//!
+//! For each scenario (pre-training, fine-tuning case 1 and case 2) this
+//! builds the configured number of simulation runs and reports packet
+//! counts, message counts, loss, and the delay distribution — the
+//! checkable facts behind "this dataset contains about 1.2 million
+//! packets" (§4).
+//!
+//! Run: `cargo run --release -p ntt-bench --bin datasets [--scale quick|paper]`
+
+use ntt_bench::report::{fmt_duration, Table};
+use ntt_bench::runner::Env;
+use ntt_sim::scenarios::RunTrace;
+use ntt_sim::Scenario;
+use std::time::Instant;
+
+fn delay_stats(traces: &[RunTrace]) -> (f64, f64, f64) {
+    let mut delays: Vec<u64> = traces
+        .iter()
+        .flat_map(|t| t.packets.iter().map(|p| p.delay_ns))
+        .collect();
+    delays.sort_unstable();
+    let n = delays.len().max(1);
+    let mean = delays.iter().map(|&d| d as f64).sum::<f64>() / n as f64 / 1e9;
+    let p50 = delays[n / 2] as f64 / 1e9;
+    let p99 = delays[(n as f64 * 0.99) as usize % n] as f64 / 1e9;
+    (mean, p50, p99)
+}
+
+fn mct_stats(traces: &[RunTrace]) -> (f64, f64) {
+    let mut mcts: Vec<u64> = traces
+        .iter()
+        .flat_map(|t| t.messages.iter().map(|m| m.mct_ns()))
+        .collect();
+    mcts.sort_unstable();
+    let n = mcts.len().max(1);
+    let mean = mcts.iter().map(|&d| d as f64).sum::<f64>() / n as f64 / 1e9;
+    let p999 = mcts[((n as f64 * 0.999) as usize).min(n - 1)] as f64 / 1e9;
+    (mean, p999)
+}
+
+fn main() {
+    let env = Env::from_args();
+    let t0 = Instant::now();
+    eprintln!(
+        "[datasets] scale {:?}: {} runs x {} per scenario",
+        env.scale,
+        env.n_runs(),
+        env.scenario_cfg().duration
+    );
+
+    let mut table = Table::new(
+        "Fig. 4 datasets (paper pre-training: ~1.2M packets; MCT mean 0.2s, p99.9 23s)",
+        &[
+            "Dataset", "packets", "messages", "drops", "delay mean", "delay p50", "delay p99",
+            "MCT mean", "MCT p99.9",
+        ],
+    );
+
+    for (scenario, label) in [
+        (Scenario::Pretrain, "Pre-training"),
+        (Scenario::Case1, "Case 1 (+cross-traffic)"),
+        (Scenario::Case2, "Case 2 (larger topology)"),
+    ] {
+        let traces = env.traces(scenario);
+        let packets: usize = traces.iter().map(|t| t.packets.len()).sum();
+        let messages: usize = traces.iter().map(|t| t.messages.len()).sum();
+        let drops: u64 = traces.iter().map(|t| t.drops).sum();
+        let (dmean, dp50, dp99) = delay_stats(&traces);
+        let (mmean, mp999) = mct_stats(&traces);
+        table.row(&[
+            label.into(),
+            packets.to_string(),
+            messages.to_string(),
+            drops.to_string(),
+            format!("{:.1} ms", dmean * 1e3),
+            format!("{:.1} ms", dp50 * 1e3),
+            format!("{:.1} ms", dp99 * 1e3),
+            format!("{mmean:.2} s"),
+            format!("{mp999:.1} s"),
+        ]);
+    }
+
+    println!("{}", table.render());
+    match table.write_tsv("datasets") {
+        Ok(p) => eprintln!("[datasets] wrote {}", p.display()),
+        Err(e) => eprintln!("[datasets] tsv write failed: {e}"),
+    }
+    eprintln!("[datasets] done in {}", fmt_duration(t0.elapsed().as_secs_f64()));
+}

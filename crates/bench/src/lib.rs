@@ -1,0 +1,17 @@
+//! # ntt-bench
+//!
+//! Experiment harness regenerating every table and figure of
+//! "A New Hope for Network Model Generalization" (HotNets '22).
+//!
+//! Binaries (all accept `--scale quick|paper` and `--seed N`):
+//! * `datasets` — Fig. 4 dataset generation + statistics
+//! * `table1` — MSE for all models, tasks, baselines, and ablations
+//! * `table2` — fine-tuning cost (data and time) on the same topology
+//! * `table3` — generalization on the larger topology
+//!
+//! Criterion benches cover the §2 quadratic-attention claim
+//! (`attention_scaling`), the matmul kernels, simulator throughput, and
+//! aggregation-mode forward cost.
+
+pub mod report;
+pub mod runner;

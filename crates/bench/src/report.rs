@@ -1,0 +1,157 @@
+//! Table formatting and TSV output for the experiment binaries.
+//!
+//! Every experiment prints a fixed-width table mirroring the paper's
+//! layout (with the paper's reference value next to ours) and writes a
+//! machine-readable TSV under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned-text table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "ragged table row");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (c, w) in cells.iter().zip(&widths) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:<w$}");
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Write a TSV version into `results/<name>.tsv` (created under the
+    /// workspace root or the current directory).
+    pub fn write_tsv(&self, name: &str) -> io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.tsv"));
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+/// `results/` next to the workspace `Cargo.toml` when discoverable,
+/// else under the current directory.
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return Path::new("results").to_path_buf();
+        }
+    }
+}
+
+/// Format an MSE the way the paper's tables do (×10⁻³ units).
+pub fn fmt_e3(v: f64) -> String {
+    format!("{:.3}", v * 1e3)
+}
+
+/// Format seconds as `XhYY` / `XmYY` / `X.Ys` like the paper's training
+/// time column.
+pub fn fmt_duration(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!("{}h{:02}", (secs / 3600.0) as u64, ((secs % 3600.0) / 60.0) as u64)
+    } else if secs >= 60.0 {
+        format!("{}m{:02}", (secs / 60.0) as u64, (secs % 60.0) as u64)
+    } else {
+        format!("{secs:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", &["model", "mse"]);
+        t.row(&["tiny".into(), "1.0".into()]);
+        t.row(&["a-much-longer-name".into(), "22.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== T =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows start the second column at the same offset.
+        let col = |l: &str| l.find("mse").or_else(|| l.find("1.0")).or_else(|| l.find("22.5"));
+        assert_eq!(col(lines[1]), col(lines[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(5.0), "5.0s");
+        assert_eq!(fmt_duration(125.0), "2m05");
+        assert_eq!(fmt_duration(3725.0), "1h02");
+    }
+
+    #[test]
+    fn e3_matches_paper_convention() {
+        assert_eq!(fmt_e3(0.000072), "0.072");
+        assert_eq!(fmt_e3(0.0152), "15.200");
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["x".into(), "1".into()]);
+        let path = t.write_tsv("test_table_tmp").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a\tb\nx\t1\n");
+        std::fs::remove_file(path).ok();
+    }
+}

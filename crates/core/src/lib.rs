@@ -1,0 +1,44 @@
+//! # ntt-core
+//!
+//! The **Network Traffic Transformer** — the primary contribution of
+//! "A New Hope for Network Model Generalization" (HotNets '22) — plus
+//! its baselines, trainer, and checkpointing.
+//!
+//! The model (Fig. 3) embeds raw per-packet features, compresses 1024
+//! packets into 48 sequence elements with learned multi-timescale
+//! aggregation, runs a transformer encoder, and attaches replaceable
+//! task heads. Pre-training masks the most recent packet's delay;
+//! fine-tuning adapts the head (and optionally the trunk) to new
+//! environments and tasks.
+//!
+//! ```
+//! use ntt_core::{Aggregation, DelayHead, Ntt, NttConfig};
+//! use ntt_nn::Module;
+//! use ntt_tensor::{Tape, Tensor};
+//!
+//! let cfg = NttConfig {
+//!     aggregation: Aggregation::MultiScale { block: 2 }, // 112-packet windows
+//!     d_model: 32, n_heads: 4, n_layers: 2, d_ff: 64,
+//!     ..NttConfig::default()
+//! };
+//! let model = Ntt::new(cfg);
+//! let head = DelayHead::new(32, 0);
+//! let tape = Tape::new();
+//! let x = tape.input(Tensor::randn(&[4, cfg.seq_len(), ntt_data::NUM_FEATURES], 1));
+//! let pred = head.forward(&tape, model.forward(&tape, x));
+//! assert_eq!(pred.shape(), vec![4, 1]);
+//! assert!(model.num_params() > 0);
+//! ```
+
+pub mod baselines;
+pub mod checkpoint;
+mod config;
+pub mod federated;
+mod model;
+mod trainer;
+
+pub use config::{Aggregation, NttConfig, OUT_SLOTS, ZONE_SLOTS};
+pub use model::{DelayHead, MctHead, Ntt};
+pub use trainer::{
+    eval_delay, eval_mct, train_delay, train_mct, EvalReport, TrainConfig, TrainMode, TrainReport,
+};

@@ -1,0 +1,287 @@
+//! The Network Traffic Transformer (Fig. 3).
+//!
+//! Three trunk stages — per-packet embedding, multi-timescale
+//! aggregation, transformer encoder — producing a context-rich encoded
+//! sequence, plus small replaceable task heads ("decoders" in the
+//! paper's BERT-inspired terminology):
+//! * [`DelayHead`] reads the final slot and predicts the masked delay of
+//!   the most recent packet (pre-training task),
+//! * [`MctHead`] pools the sequence, appends the message size, and
+//!   predicts the log message completion time (fine-tuning task).
+
+use crate::config::{Aggregation, NttConfig, OUT_SLOTS, ZONE_SLOTS};
+use ntt_data::NUM_FEATURES;
+use ntt_nn::{Activation, Linear, Mlp, Module, PositionalEncoding, TransformerEncoder};
+use ntt_tensor::{Param, Tape, Var};
+
+/// The NTT trunk: embedding + aggregation + encoder.
+pub struct Ntt {
+    pub cfg: NttConfig,
+    embedding: Linear,
+    /// First-level aggregation (blocks of `block` packets). Shared by
+    /// the middle zone (applied once) and the oldest zone (first of its
+    /// two applications) — hierarchical reuse per §3.
+    agg1: Option<Linear>,
+    /// Second-level aggregation (pairs of level-1 aggregates).
+    agg2: Option<Linear>,
+    pos: PositionalEncoding,
+    encoder: TransformerEncoder,
+}
+
+impl Ntt {
+    pub fn new(cfg: NttConfig) -> Self {
+        let d = cfg.d_model;
+        let (agg1, agg2) = match cfg.aggregation {
+            Aggregation::MultiScale { block } => (
+                Some(Linear::new("ntt.agg1", block * d, d, cfg.seed ^ 0xa1)),
+                Some(Linear::new("ntt.agg2", 2 * d, d, cfg.seed ^ 0xa2)),
+            ),
+            Aggregation::Fixed { block } => (
+                Some(Linear::new("ntt.agg1", block * d, d, cfg.seed ^ 0xa1)),
+                None,
+            ),
+            Aggregation::None => (None, None),
+        };
+        Ntt {
+            embedding: Linear::new("ntt.embedding", NUM_FEATURES, d, cfg.seed ^ 0xe0),
+            agg1,
+            agg2,
+            pos: PositionalEncoding::new(OUT_SLOTS, d),
+            encoder: TransformerEncoder::new("ntt.encoder", &cfg.encoder(), cfg.seed),
+            cfg,
+        }
+    }
+
+    /// Encode a batch of packet windows:
+    /// `[B, seq_len, NUM_FEATURES] -> [B, 48, d_model]`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "NTT expects [B, T, F]");
+        let (b, t, f) = (shape[0], shape[1], shape[2]);
+        assert_eq!(f, NUM_FEATURES, "feature count mismatch");
+        assert_eq!(
+            t,
+            self.cfg.seq_len(),
+            "window length {t} does not match aggregation {:?}",
+            self.cfg.aggregation
+        );
+        let d = self.cfg.d_model;
+        let e = self.embedding.forward(tape, x); // [B, T, D]
+
+        let slots = match self.cfg.aggregation {
+            Aggregation::None => e,
+            Aggregation::Fixed { block } => {
+                let agg1 = self.agg1.as_ref().expect("fixed agg layer");
+                let blocks = e.reshape(&[b, OUT_SLOTS, block * d]);
+                agg1.forward(tape, blocks) // [B, 48, D]
+            }
+            Aggregation::MultiScale { block } => {
+                let agg1 = self.agg1.as_ref().expect("level-1 agg layer");
+                let agg2 = self.agg2.as_ref().expect("level-2 agg layer");
+                let old_len = 2 * ZONE_SLOTS * block; // oldest zone, aggregated twice
+                let mid_len = ZONE_SLOTS * block; // middle zone, aggregated once
+                // Oldest packets first in the window (time-ordered).
+                let old = e.slice_axis1(0, old_len);
+                let mid = e.slice_axis1(old_len, mid_len);
+                let raw = e.slice_axis1(old_len + mid_len, ZONE_SLOTS);
+                // Level 1 on the old zone: [B, 32, block*D] -> [B, 32, D].
+                let old1 = agg1.forward(tape, old.reshape(&[b, 2 * ZONE_SLOTS, block * d]));
+                // Level 2: adjacent pairs -> [B, 16, D].
+                let old2 = agg2.forward(tape, old1.reshape(&[b, ZONE_SLOTS, 2 * d]));
+                // Level 1 on the middle zone: [B, 16, D].
+                let mid1 = agg1.forward(tape, mid.reshape(&[b, ZONE_SLOTS, block * d]));
+                Var::concat_axis1(&[old2, mid1, raw])
+            }
+        };
+        debug_assert_eq!(slots.shape()[1], OUT_SLOTS);
+        let with_pos = self.pos.forward(tape, slots);
+        self.encoder.forward(tape, with_pos)
+    }
+
+    /// Propagate train/eval mode (dropout).
+    pub fn set_training(&self, training: bool) {
+        self.encoder.set_training(training);
+    }
+}
+
+impl Module for Ntt {
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.embedding.params();
+        if let Some(a) = &self.agg1 {
+            p.extend(a.params());
+        }
+        if let Some(a) = &self.agg2 {
+            p.extend(a.params());
+        }
+        p.extend(self.encoder.params());
+        p
+    }
+}
+
+/// Delay-prediction head: MLP on the final encoded slot (the masked
+/// most-recent packet).
+pub struct DelayHead {
+    mlp: Mlp,
+}
+
+impl DelayHead {
+    pub fn new(d_model: usize, seed: u64) -> Self {
+        DelayHead {
+            mlp: Mlp::new(
+                "delay_head",
+                &[d_model, d_model, 1],
+                Activation::Gelu,
+                seed ^ 0xd3,
+            ),
+        }
+    }
+
+    /// `[B, 48, D] -> [B, 1]` (normalized delay).
+    pub fn forward<'t>(&self, tape: &'t Tape, encoded: Var<'t>) -> Var<'t> {
+        let last = encoded.shape()[1] - 1;
+        self.mlp.forward(tape, encoded.select_axis1(last))
+    }
+}
+
+impl Module for DelayHead {
+    fn params(&self) -> Vec<Param> {
+        self.mlp.params()
+    }
+}
+
+/// Message-completion-time head: MLP on (mean-pooled sequence ⊕ log
+/// message size) — "a decoder with two inputs: the NTT outputs for the
+/// past packets and the message size" (§4).
+pub struct MctHead {
+    mlp: Mlp,
+}
+
+impl MctHead {
+    pub fn new(d_model: usize, seed: u64) -> Self {
+        MctHead {
+            mlp: Mlp::new(
+                "mct_head",
+                &[d_model + 1, d_model, 1],
+                Activation::Gelu,
+                seed ^ 0xd4,
+            ),
+        }
+    }
+
+    /// `([B, 48, D], [B, 1]) -> [B, 1]` (normalized log MCT).
+    pub fn forward<'t>(&self, tape: &'t Tape, encoded: Var<'t>, msg_size: Var<'t>) -> Var<'t> {
+        let pooled = encoded.mean_axis1();
+        self.mlp.forward(tape, pooled.concat_last(msg_size))
+    }
+}
+
+impl Module for MctHead {
+    fn params(&self) -> Vec<Param> {
+        self.mlp.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_tensor::Tensor;
+
+    fn tiny_cfg(aggregation: Aggregation) -> NttConfig {
+        NttConfig {
+            aggregation,
+            d_model: 16,
+            n_heads: 4,
+            n_layers: 1,
+            d_ff: 32,
+            seed: 3,
+            ..NttConfig::default()
+        }
+    }
+
+    #[test]
+    fn forward_shapes_all_aggregations() {
+        for agg in [
+            Aggregation::MultiScale { block: 3 },
+            Aggregation::Fixed { block: 3 },
+            Aggregation::None,
+        ] {
+            let cfg = tiny_cfg(agg);
+            let ntt = Ntt::new(cfg);
+            let tape = Tape::new();
+            let x = tape.input(Tensor::randn(&[2, cfg.seq_len(), NUM_FEATURES], 1));
+            let out = ntt.forward(&tape, x);
+            assert_eq!(out.shape(), vec![2, OUT_SLOTS, 16], "agg {agg:?}");
+        }
+    }
+
+    #[test]
+    fn heads_produce_scalars() {
+        let cfg = tiny_cfg(Aggregation::None);
+        let ntt = Ntt::new(cfg);
+        let delay = DelayHead::new(16, 0);
+        let mct = MctHead::new(16, 0);
+        let tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[3, 48, NUM_FEATURES], 2));
+        let enc = ntt.forward(&tape, x);
+        assert_eq!(delay.forward(&tape, enc).shape(), vec![3, 1]);
+        let sizes = tape.input(Tensor::randn(&[3, 1], 3));
+        assert_eq!(mct.forward(&tape, enc, sizes).shape(), vec![3, 1]);
+    }
+
+    #[test]
+    fn multiscale_has_two_agg_layers_fixed_one_none_zero() {
+        let count = |agg| {
+            let ntt = Ntt::new(tiny_cfg(agg));
+            ntt.params().len()
+        };
+        let base = count(Aggregation::None);
+        let fixed = count(Aggregation::Fixed { block: 3 });
+        let multi = count(Aggregation::MultiScale { block: 3 });
+        assert_eq!(fixed, base + 2, "agg1 weight+bias");
+        assert_eq!(multi, base + 4, "agg1 + agg2");
+    }
+
+    #[test]
+    fn gradients_reach_trunk_and_heads() {
+        let cfg = tiny_cfg(Aggregation::MultiScale { block: 2 });
+        let ntt = Ntt::new(cfg);
+        let head = DelayHead::new(16, 1);
+        let tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[2, cfg.seq_len(), NUM_FEATURES], 4));
+        let pred = head.forward(&tape, ntt.forward(&tape, x));
+        let loss = pred.mse_loss(&Tensor::zeros(&[2, 1]));
+        tape.backward(loss);
+        for p in ntt.params().iter().chain(head.params().iter()) {
+            assert!(p.grad().norm() > 0.0, "no gradient for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn recent_packets_influence_output_more_directly() {
+        // Changing the most recent packet must change the delay head
+        // input slot; the architecture keeps recent packets raw.
+        let cfg = tiny_cfg(Aggregation::MultiScale { block: 2 });
+        let ntt = Ntt::new(cfg);
+        let t = cfg.seq_len();
+        let base = Tensor::randn(&[1, t, NUM_FEATURES], 5);
+        let mut bumped = base.clone();
+        for f in 0..NUM_FEATURES {
+            let v = bumped.at(&[0, t - 1, f]);
+            bumped.set(&[0, t - 1, f], v + 1.0);
+        }
+        let tape = Tape::new();
+        let a = ntt.forward(&tape, tape.input(base)).value();
+        let b = ntt.forward(&tape, tape.input(bumped)).value();
+        assert!(!a.allclose(&b, 1e-6), "recent packet change must matter");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match aggregation")]
+    fn rejects_wrong_window_length() {
+        let cfg = tiny_cfg(Aggregation::MultiScale { block: 3 });
+        let ntt = Ntt::new(cfg);
+        let tape = Tape::new();
+        let x = tape.input(Tensor::zeros(&[1, 47, NUM_FEATURES]));
+        ntt.forward(&tape, x);
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-packet feature layout and ablation masks.
+//!
+//! The NTT proof-of-concept uses four features per packet (§3):
+//! relative timestamp, packet size, receiver ID (an IP-address proxy),
+//! and end-to-end delay. Table 1's "without packet size" / "without
+//! delay" ablations remove one channel; we implement removal by zeroing
+//! the channel, which conveys no information while keeping shapes
+//! stable across all model variants.
+
+/// Feature channel indices within a packet feature vector.
+pub const CH_TIME: usize = 0;
+pub const CH_SIZE: usize = 1;
+pub const CH_RECEIVER: usize = 2;
+pub const CH_DELAY: usize = 3;
+/// Number of per-packet features.
+pub const NUM_FEATURES: usize = 4;
+
+/// Which feature channels are visible to the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureMask {
+    pub time: bool,
+    pub size: bool,
+    pub receiver: bool,
+    pub delay: bool,
+}
+
+impl Default for FeatureMask {
+    fn default() -> Self {
+        FeatureMask {
+            time: true,
+            size: true,
+            receiver: true,
+            delay: true,
+        }
+    }
+}
+
+impl FeatureMask {
+    /// All channels visible (the full NTT).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Table 1 ablation: "Without packet size".
+    pub fn without_size() -> Self {
+        FeatureMask {
+            size: false,
+            ..Self::default()
+        }
+    }
+
+    /// Table 1 ablation: "Without delay".
+    pub fn without_delay() -> Self {
+        FeatureMask {
+            delay: false,
+            ..Self::default()
+        }
+    }
+
+    /// Table 3 in-text ablation: "Without addressing information".
+    pub fn without_receiver() -> Self {
+        FeatureMask {
+            receiver: false,
+            ..Self::default()
+        }
+    }
+
+    /// Channel multipliers (1.0 = visible, 0.0 = ablated).
+    pub fn multipliers(&self) -> [f32; NUM_FEATURES] {
+        [
+            if self.time { 1.0 } else { 0.0 },
+            if self.size { 1.0 } else { 0.0 },
+            if self.receiver { 1.0 } else { 0.0 },
+            if self.delay { 1.0 } else { 0.0 },
+        ]
+    }
+
+    /// Apply in place to a flat `[T * NUM_FEATURES]` feature buffer.
+    pub fn apply(&self, features: &mut [f32]) {
+        debug_assert_eq!(features.len() % NUM_FEATURES, 0);
+        let m = self.multipliers();
+        if m == [1.0; NUM_FEATURES] {
+            return;
+        }
+        for packet in features.chunks_mut(NUM_FEATURES) {
+            for (v, k) in packet.iter_mut().zip(m.iter()) {
+                *v *= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shows_everything() {
+        assert_eq!(FeatureMask::all().multipliers(), [1.0; 4]);
+    }
+
+    #[test]
+    fn ablations_zero_one_channel() {
+        assert_eq!(FeatureMask::without_size().multipliers(), [1.0, 0.0, 1.0, 1.0]);
+        assert_eq!(FeatureMask::without_delay().multipliers(), [1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(
+            FeatureMask::without_receiver().multipliers(),
+            [1.0, 1.0, 0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn apply_zeros_selected_channels_only() {
+        let mut buf = vec![1.0; 2 * NUM_FEATURES];
+        FeatureMask::without_delay().apply(&mut buf);
+        assert_eq!(buf, vec![1.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_full_mask_is_identity() {
+        let mut buf: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let before = buf.clone();
+        FeatureMask::all().apply(&mut buf);
+        assert_eq!(buf, before);
+    }
+}

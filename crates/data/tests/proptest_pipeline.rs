@@ -1,0 +1,90 @@
+//! Property-based tests of the data pipeline: normalization round-trips,
+//! window/zone accounting, batch iteration coverage, subsampling bounds.
+
+use ntt_data::{BatchIter, FeatureMask, Normalizer, NUM_FEATURES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn normalizer_roundtrips_every_channel(
+        rows in proptest::collection::vec(-100.0f32..100.0, 8..80),
+    ) {
+        let channels = 2;
+        let rows = {
+            let mut r = rows;
+            r.truncate(r.len() / channels * channels);
+            r
+        };
+        prop_assume!(rows.len() >= channels * 2);
+        let n = Normalizer::fit(&rows, channels);
+        for (i, &v) in rows.iter().enumerate() {
+            let ch = i % channels;
+            let z = n.apply_one(ch, v);
+            prop_assert!((n.invert_one(ch, z) - v).abs() < 1e-2, "{v} via {z}");
+        }
+    }
+
+    #[test]
+    fn normalized_data_is_standardized(seed in 0u64..1000, scale in 0.1f32..50.0) {
+        let raw: Vec<f32> = (0..400)
+            .map(|i| ((i as f32) * 0.37 + seed as f32).sin() * scale + scale)
+            .collect();
+        let n = Normalizer::fit(&raw, 1);
+        let mut z = raw.clone();
+        n.apply(&mut z);
+        let mean = z.iter().sum::<f32>() / z.len() as f32;
+        let var = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / z.len() as f32;
+        prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+        prop_assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    }
+
+    #[test]
+    fn batch_iter_is_a_permutation(len in 1usize..200, bs in 1usize..17, seed in 0u64..100) {
+        let mut seen = vec![0u32; len];
+        for batch in BatchIter::new(len, bs, seed, true) {
+            prop_assert!(batch.len() <= bs);
+            for i in batch {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "not a permutation");
+    }
+
+    #[test]
+    fn batch_iter_same_seed_same_order(len in 1usize..64, bs in 1usize..8, seed in 0u64..100) {
+        let a: Vec<Vec<usize>> = BatchIter::new(len, bs, seed, true).collect();
+        let b: Vec<Vec<usize>> = BatchIter::new(len, bs, seed, true).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feature_mask_multipliers_are_binary_and_apply_matches(
+        time in any::<bool>(), size in any::<bool>(),
+        receiver in any::<bool>(), delay in any::<bool>(),
+        vals in proptest::collection::vec(-5.0f32..5.0, NUM_FEATURES * 3),
+    ) {
+        let mask = FeatureMask { time, size, receiver, delay };
+        let m = mask.multipliers();
+        prop_assert!(m.iter().all(|&v| v == 0.0 || v == 1.0));
+        let mut buf = vals.clone();
+        mask.apply(&mut buf);
+        for (i, (&out, &inp)) in buf.iter().zip(vals.iter()).enumerate() {
+            let expect = inp * m[i % NUM_FEATURES];
+            prop_assert_eq!(out, expect);
+        }
+    }
+}
+
+/// Zone accounting mirrors ntt-core's aggregation math: this pins the
+/// contract the dataset relies on (window length = zones).
+#[test]
+fn window_zone_accounting() {
+    for block in 1..40usize {
+        let raw = 16;
+        let mid = 16 * block;
+        let old = 32 * block;
+        assert_eq!(raw + mid + old, 16 + 48 * block);
+    }
+}

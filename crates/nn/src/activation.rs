@@ -1,0 +1,68 @@
+//! Activation functions as a small closed enum.
+
+use ntt_tensor::Var;
+
+/// Pointwise nonlinearity. A closed enum (not a trait object) so model
+/// configs stay `Copy` and checkpointable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    /// GELU (tanh approximation) — the transformer default.
+    Gelu,
+    Tanh,
+    /// No-op, for heads that end in a regression output.
+    Identity,
+}
+
+impl Activation {
+    /// Apply on the tape.
+    pub fn forward<'t>(&self, x: Var<'t>) -> Var<'t> {
+        match self {
+            Activation::Relu => x.relu(),
+            Activation::Gelu => x.gelu(),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_tensor::{Tape, Tensor};
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]));
+        let y = Activation::Relu.forward(x).value();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        let tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]));
+        let y = Activation::Gelu.forward(x).value();
+        assert!((y.data()[0]).abs() < 1e-6);
+        assert!((y.data()[1] - 0.8412).abs() < 1e-3);
+        assert!((y.data()[2] + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let tape = Tape::new();
+        let t = Tensor::randn(&[4], 1);
+        let x = tape.input(t.clone());
+        assert_eq!(Activation::Identity.forward(x).value(), t);
+    }
+
+    #[test]
+    fn tanh_saturates() {
+        let tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![100.0, -100.0], &[2]));
+        let y = Activation::Tanh.forward(x).value();
+        assert!((y.data()[0] - 1.0).abs() < 1e-6);
+        assert!((y.data()[1] + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Multi-head scaled dot-product self-attention.
+//!
+//! The mechanism behind Transformers (§2 of the paper): every output
+//! position encodes its own information *and* its context. Cost is
+//! quadratic in sequence length — the very property that motivates the
+//! NTT's multi-timescale aggregation layer (and the `attention_scaling`
+//! Criterion bench reproduces that scaling curve).
+
+use crate::linear::Linear;
+use crate::module::Module;
+use ntt_tensor::{Param, Tape, Var};
+
+/// Multi-head self-attention with separate Q/K/V/O projections.
+pub struct MultiHeadAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    d_model: usize,
+    n_heads: usize,
+}
+
+impl MultiHeadAttention {
+    /// `d_model` must be divisible by `n_heads`.
+    pub fn new(name: &str, d_model: usize, n_heads: usize, seed: u64) -> Self {
+        assert!(n_heads > 0, "attention needs at least one head");
+        assert_eq!(
+            d_model % n_heads,
+            0,
+            "d_model {d_model} not divisible by n_heads {n_heads}"
+        );
+        MultiHeadAttention {
+            wq: Linear::new(&format!("{name}.wq"), d_model, d_model, seed ^ 0x51),
+            wk: Linear::new(&format!("{name}.wk"), d_model, d_model, seed ^ 0x52),
+            wv: Linear::new(&format!("{name}.wv"), d_model, d_model, seed ^ 0x53),
+            wo: Linear::new(&format!("{name}.wo"), d_model, d_model, seed ^ 0x54),
+            d_model,
+            n_heads,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Self-attention over `x: [B, T, D] -> [B, T, D]`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "attention expects [B, T, D]");
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.d_model, "d_model mismatch");
+        let h = self.n_heads;
+        let dh = d / h;
+
+        // Project, then regroup [B, T, D] -> [B, H, T, dh].
+        let split = |v: Var<'t>| v.reshape(&[b, t, h, dh]).transpose_axes_1_2();
+        let q = split(self.wq.forward(tape, x));
+        let k = split(self.wk.forward(tape, x));
+        let v = split(self.wv.forward(tape, x));
+
+        // Scaled dot-product: softmax(Q·Kᵀ / sqrt(dh)) · V.
+        let scores = q.matmul(k.transpose_last2()).scale(1.0 / (dh as f32).sqrt());
+        let attn = scores.softmax_last();
+        let ctx = attn.matmul(v); // [B, H, T, dh]
+
+        // Merge heads and apply the output projection.
+        let merged = ctx.transpose_axes_1_2().reshape(&[b, t, d]);
+        self.wo.forward(tape, merged)
+    }
+
+    /// Forward pass that also returns the attention weights `[B, H, T, T]`
+    /// (diagnostics / interpretability; weights are a detached clone).
+    pub fn forward_with_weights<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+    ) -> (Var<'t>, ntt_tensor::Tensor) {
+        let shape = x.shape();
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let h = self.n_heads;
+        let dh = d / h;
+        let split = |v: Var<'t>| v.reshape(&[b, t, h, dh]).transpose_axes_1_2();
+        let q = split(self.wq.forward(tape, x));
+        let k = split(self.wk.forward(tape, x));
+        let v = split(self.wv.forward(tape, x));
+        let scores = q.matmul(k.transpose_last2()).scale(1.0 / (dh as f32).sqrt());
+        let attn = scores.softmax_last();
+        let ctx = attn.matmul(v);
+        let merged = ctx.transpose_axes_1_2().reshape(&[b, t, d]);
+        (self.wo.forward(tape, merged), attn.value())
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.wq.params();
+        p.extend(self.wk.params());
+        p.extend(self.wv.params());
+        p.extend(self.wo.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_tensor::{Tape, Tensor};
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mha = MultiHeadAttention::new("a", 16, 4, 0);
+        let tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[2, 6, 16], 1));
+        assert_eq!(mha.forward(&tape, x).shape(), vec![2, 6, 16]);
+    }
+
+    #[test]
+    fn attention_weights_are_row_stochastic() {
+        let mha = MultiHeadAttention::new("a", 8, 2, 0);
+        let tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[1, 5, 8], 2));
+        let (_, w) = mha.forward_with_weights(&tape, x);
+        assert_eq!(w.shape(), &[1, 2, 5, 5]);
+        for row in w.data().chunks(5) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn output_depends_on_context_not_just_own_token() {
+        // Same token value at position 0, different context at position 1:
+        // the attention output for position 0 must differ — the paper's
+        // "stick" example in §1.
+        let mha = MultiHeadAttention::new("a", 8, 2, 3);
+        let tape = Tape::new();
+        let mut a = Tensor::randn(&[1, 2, 8], 4);
+        let b = {
+            let mut b = a.clone();
+            for j in 0..8 {
+                let v = b.at(&[0, 1, j]);
+                b.set(&[0, 1, j], v + 1.0);
+            }
+            b
+        };
+        // Keep position 0 identical.
+        for j in 0..8 {
+            let v = b.at(&[0, 0, j]);
+            a.set(&[0, 0, j], v);
+        }
+        let ya = mha.forward(&tape, tape.input(a)).value();
+        let yb = mha.forward(&tape, tape.input(b)).value();
+        let pos0_a: Vec<f32> = (0..8).map(|j| ya.at(&[0, 0, j])).collect();
+        let pos0_b: Vec<f32> = (0..8).map(|j| yb.at(&[0, 0, j])).collect();
+        assert_ne!(pos0_a, pos0_b);
+    }
+
+    #[test]
+    fn single_head_equals_multi_head_param_count() {
+        let a = MultiHeadAttention::new("a", 16, 1, 0);
+        let b = MultiHeadAttention::new("b", 16, 4, 0);
+        assert_eq!(a.num_params(), b.num_params());
+        assert_eq!(a.num_params(), 4 * (16 * 16 + 16));
+    }
+
+    #[test]
+    fn gradients_reach_all_projections() {
+        let mha = MultiHeadAttention::new("a", 8, 2, 5);
+        let tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[2, 4, 8], 6));
+        let y = mha.forward(&tape, x);
+        let loss = y.mse_loss(&Tensor::zeros(&[2, 4, 8]));
+        tape.backward(loss);
+        for p in mha.params() {
+            assert!(p.grad().norm() > 0.0, "no gradient for {}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_heads() {
+        MultiHeadAttention::new("a", 10, 3, 0);
+    }
+}

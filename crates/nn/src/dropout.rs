@@ -1,0 +1,85 @@
+//! Inverted dropout.
+//!
+//! The mask is sampled outside the tape and applied with `mul_const`, so
+//! no gradient flows into the randomness. Uses inverted scaling
+//! (kept activations are multiplied by `1/(1-p)`) so evaluation needs no
+//! rescaling.
+
+use ntt_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dropout layer with explicit train/eval state and its own RNG stream.
+pub struct Dropout {
+    p: f32,
+    rng: std::cell::RefCell<StdRng>,
+    training: std::cell::Cell<bool>,
+}
+
+impl Dropout {
+    /// Dropout with probability `p` of zeroing each activation.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed)),
+            training: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Enable or disable dropout (disabled = identity).
+    pub fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+
+    /// Apply on the tape.
+    pub fn forward<'t>(&self, x: Var<'t>) -> Var<'t> {
+        if !self.training.get() || self.p == 0.0 {
+            return x;
+        }
+        let shape = x.shape();
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut rng = self.rng.borrow_mut();
+        let mask: Vec<f32> = (0..shape.iter().product::<usize>())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        x.mul_const(&Tensor::from_vec(mask, &shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_tensor::{Tape, Tensor};
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 1);
+        d.set_training(false);
+        let tape = Tape::new();
+        let t = Tensor::randn(&[100], 2);
+        let y = d.forward(tape.input(t.clone())).value();
+        assert_eq!(y, t);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let d = Dropout::new(0.0, 1);
+        let tape = Tape::new();
+        let t = Tensor::randn(&[50], 3);
+        assert_eq!(d.forward(tape.input(t.clone())).value(), t);
+    }
+
+    #[test]
+    fn training_mode_preserves_expectation() {
+        let d = Dropout::new(0.3, 4);
+        let tape = Tape::new();
+        let t = Tensor::ones(&[20_000]);
+        let y = d.forward(tape.input(t)).value();
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "zero fraction {frac}");
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+}

@@ -1,0 +1,45 @@
+//! # ntt-nn
+//!
+//! Neural-network layers and optimizers on top of [`ntt_tensor`] — the
+//! `torch.nn`/`torch.optim` substitute for the Network Traffic
+//! Transformer reproduction (HotNets '22).
+//!
+//! Provides exactly the blocks Fig. 2/3 of the paper require:
+//! linear layers, layer norm, activations, dropout, sinusoidal
+//! positional encoding, multi-head self-attention, a pre-/post-LN
+//! transformer encoder, MLP task heads, and Adam/SGD with LR schedules.
+//!
+//! ```
+//! use ntt_nn::{EncoderConfig, Module, TransformerEncoder};
+//! use ntt_tensor::{Tape, Tensor};
+//!
+//! let cfg = EncoderConfig::small(32, 4, 2);
+//! let encoder = TransformerEncoder::new("enc", &cfg, 0);
+//! let tape = Tape::new();
+//! let x = tape.input(Tensor::randn(&[8, 48, 32], 1));
+//! let y = encoder.forward(&tape, x);
+//! assert_eq!(y.shape(), vec![8, 48, 32]);
+//! ```
+
+mod activation;
+mod attention;
+mod dropout;
+pub mod init;
+mod linear;
+mod mlp;
+mod module;
+mod norm;
+mod optim;
+mod positional;
+mod transformer;
+
+pub use activation::Activation;
+pub use attention::MultiHeadAttention;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use mlp::Mlp;
+pub use module::Module;
+pub use norm::LayerNorm;
+pub use optim::{clip_grad_norm, Adam, LrSchedule, Sgd};
+pub use positional::PositionalEncoding;
+pub use transformer::{EncoderConfig, NormPlacement, TransformerEncoder, TransformerEncoderLayer};

@@ -1,0 +1,102 @@
+//! Multilayer perceptron — the paper's replaceable "decoder" / task head.
+//!
+//! BERT-style pre-train/fine-tune keeps the transformer trunk and swaps a
+//! small MLP head per task (§2, Fig. 2b/3). `Mlp` is that head.
+
+use crate::activation::Activation;
+use crate::linear::Linear;
+use crate::module::Module;
+use ntt_tensor::{Param, Tape, Var};
+
+/// A stack of linear layers with a pointwise activation between them
+/// (none after the final layer: heads regress unbounded values).
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Build from a width list, e.g. `[64, 32, 1]` = two layers.
+    pub fn new(name: &str, widths: &[usize], activation: Activation, seed: u64) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(&format!("{name}.fc{i}"), w[0], w[1], seed.wrapping_add(i as u64 * 31)))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input feature dimension.
+    pub fn in_features(&self) -> usize {
+        self.layers.first().unwrap().in_features()
+    }
+
+    /// Output feature dimension.
+    pub fn out_features(&self) -> usize {
+        self.layers.last().unwrap().out_features()
+    }
+
+    /// Apply on the tape.
+    pub fn forward<'t>(&self, tape: &'t Tape, mut x: Var<'t>) -> Var<'t> {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(tape, x);
+            if i != last {
+                x = self.activation.forward(x);
+            }
+        }
+        x
+    }
+}
+
+impl Module for Mlp {
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_tensor::{Tape, Tensor};
+
+    #[test]
+    fn widths_define_structure() {
+        let m = Mlp::new("head", &[64, 32, 1], Activation::Relu, 0);
+        assert_eq!(m.in_features(), 64);
+        assert_eq!(m.out_features(), 1);
+        assert_eq!(m.num_params(), 64 * 32 + 32 + 32 + 1);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let m = Mlp::new("head", &[8, 4, 2], Activation::Gelu, 1);
+        let tape = Tape::new();
+        let y = m.forward(&tape, tape.input(Tensor::randn(&[5, 8], 2)));
+        assert_eq!(y.shape(), vec![5, 2]);
+    }
+
+    #[test]
+    fn no_activation_after_last_layer_allows_negative_outputs() {
+        let m = Mlp::new("head", &[4, 4, 1], Activation::Relu, 3);
+        let tape = Tape::new();
+        let y = m.forward(&tape, tape.input(Tensor::randn(&[200, 4], 4)));
+        assert!(
+            y.value().data().iter().any(|&v| v < 0.0),
+            "regression head should produce negative values"
+        );
+    }
+
+    #[test]
+    fn single_layer_is_linear() {
+        let m = Mlp::new("head", &[3, 2], Activation::Relu, 5);
+        assert_eq!(m.params().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_trivial_widths() {
+        Mlp::new("head", &[3], Activation::Relu, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Layer normalization module (affine, over the last axis).
+
+use crate::module::Module;
+use ntt_tensor::{Param, Tape, Tensor, Var};
+
+/// Affine layer norm: `y = (x - mean) / sqrt(var + eps) * gamma + beta`,
+/// statistics taken over the last axis.
+pub struct LayerNorm {
+    pub gamma: Param,
+    pub beta: Param,
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm over `dim` features.
+    pub fn new(name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Apply on the tape.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        x.layer_norm(tape.param(&self.gamma), tape.param(&self.beta), self.eps)
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_init_normalizes() {
+        let ln = LayerNorm::new("ln", 8);
+        let tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[4, 8], 1).map(|v| v * 3.0 + 5.0));
+        let y = ln.forward(&tape, x).value();
+        for row in y.data().chunks(8) {
+            let mean = row.iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn affine_params_shift_and_scale() {
+        let ln = LayerNorm::new("ln", 4);
+        ln.gamma.set_value(Tensor::full(&[4], 2.0));
+        ln.beta.set_value(Tensor::full(&[4], 10.0));
+        let tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[2, 4], 2));
+        let y = ln.forward(&tape, x).value();
+        for row in y.data().chunks(4) {
+            let mean = row.iter().sum::<f32>() / 4.0;
+            assert!((mean - 10.0).abs() < 1e-3, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn params_exposed() {
+        let ln = LayerNorm::new("ln", 4);
+        assert_eq!(ln.num_params(), 8);
+    }
+}

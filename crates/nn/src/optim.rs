@@ -1,0 +1,332 @@
+//! Optimizers, learning-rate schedules, and gradient clipping.
+
+use ntt_tensor::{Param, Tensor};
+use std::collections::HashMap;
+
+/// Learning-rate schedule, evaluated per optimizer step.
+#[derive(Debug, Clone, Copy)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f32),
+    /// Linear warmup to `peak` over `warmup` steps, then cosine decay to
+    /// `peak * floor_frac` at `total` steps (the transformer default).
+    WarmupCosine {
+        peak: f32,
+        warmup: usize,
+        total: usize,
+        floor_frac: f32,
+    },
+    /// Multiply by `gamma` every `every` steps.
+    StepDecay { base: f32, gamma: f32, every: usize },
+}
+
+impl LrSchedule {
+    /// Learning rate at a zero-based step index.
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::WarmupCosine {
+                peak,
+                warmup,
+                total,
+                floor_frac,
+            } => {
+                if warmup > 0 && step < warmup {
+                    return peak * (step + 1) as f32 / warmup as f32;
+                }
+                let span = total.saturating_sub(warmup).max(1);
+                let t = ((step - warmup).min(span)) as f32 / span as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                let floor = peak * floor_frac;
+                floor + (peak - floor) * cos
+            }
+            LrSchedule::StepDecay { base, gamma, every } => {
+                base * gamma.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm (useful for divergence diagnostics).
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for p in params {
+        if !p.is_trainable() {
+            continue;
+        }
+        let g = p.grad();
+        sq += g.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if !p.is_trainable() {
+                continue;
+            }
+            p.update(|_, _| {});
+            // scale the stored gradient in place
+            let g = p.grad().map(|x| x * scale);
+            p.zero_grad();
+            p.accumulate_grad(&g);
+        }
+    }
+    norm
+}
+
+/// Adam (Kingma & Ba 2015) with decoupled weight decay (AdamW) and
+/// bias-corrected moments. State is keyed by parameter identity, so
+/// freezing/unfreezing parameters between phases keeps their moments.
+pub struct Adam {
+    params: Vec<Param>,
+    schedule: LrSchedule,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step: usize,
+    state: HashMap<usize, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Standard betas (0.9, 0.999); no weight decay.
+    pub fn new(params: Vec<Param>, schedule: LrSchedule) -> Self {
+        Adam {
+            params,
+            schedule,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Builder: decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.schedule.at(self.step)
+    }
+
+    /// Parameters this optimizer manages.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Apply one update from accumulated gradients, then zero them.
+    pub fn step(&mut self) {
+        let lr = self.schedule.at(self.step);
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for p in &self.params {
+            if !p.is_trainable() {
+                p.zero_grad();
+                continue;
+            }
+            let key = p.key();
+            let g = p.grad();
+            let (m, v) = self
+                .state
+                .entry(key)
+                .or_insert_with(|| (Tensor::zeros(g.shape()), Tensor::zeros(g.shape())));
+            for ((mi, vi), gi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data().iter())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let (beta_eps, wd) = (self.eps, self.weight_decay);
+            let (md, vd) = (m.data(), v.data());
+            p.update(|value, _| {
+                for (i, val) in value.data_mut().iter_mut().enumerate() {
+                    let mhat = md[i] / bc1;
+                    let vhat = vd[i] / bc2;
+                    *val -= lr * (mhat / (vhat.sqrt() + beta_eps) + wd * *val);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+}
+
+/// Plain SGD with optional momentum — the simple baseline optimizer.
+pub struct Sgd {
+    params: Vec<Param>,
+    schedule: LrSchedule,
+    momentum: f32,
+    velocity: HashMap<usize, Tensor>,
+    step: usize,
+}
+
+impl Sgd {
+    pub fn new(params: Vec<Param>, schedule: LrSchedule, momentum: f32) -> Self {
+        Sgd {
+            params,
+            schedule,
+            momentum,
+            velocity: HashMap::new(),
+            step: 0,
+        }
+    }
+
+    /// Apply one update from accumulated gradients, then zero them.
+    pub fn step(&mut self) {
+        let lr = self.schedule.at(self.step);
+        self.step += 1;
+        for p in &self.params {
+            if !p.is_trainable() {
+                p.zero_grad();
+                continue;
+            }
+            let g = p.grad();
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.key())
+                    .or_insert_with(|| Tensor::zeros(g.shape()));
+                for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
+                    *vi = self.momentum * *vi + gi;
+                }
+                let vd = v.clone();
+                p.update(|value, _| {
+                    for (val, vi) in value.data_mut().iter_mut().zip(vd.data()) {
+                        *val -= lr * vi;
+                    }
+                });
+            } else {
+                p.update(|value, grad| {
+                    for (val, gi) in value.data_mut().iter_mut().zip(grad.data()) {
+                        *val -= lr * gi;
+                    }
+                });
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_tensor::{Tape, Tensor};
+
+    fn quadratic_loss(p: &Param) -> f32 {
+        // loss = mean((w - 3)^2): minimum at w = 3.
+        let tape = Tape::new();
+        let w = tape.param(p);
+        let loss = w.mse_loss(&Tensor::full(&p.shape(), 3.0));
+        let v = loss.value().item();
+        tape.backward(loss);
+        v
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::zeros(&[4]));
+        let mut opt = Adam::new(vec![p.clone()], LrSchedule::Constant(0.1));
+        for _ in 0..300 {
+            quadratic_loss(&p);
+            opt.step();
+        }
+        assert!(p.value().allclose(&Tensor::full(&[4], 3.0), 1e-2));
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        let mut opt = Sgd::new(vec![p.clone()], LrSchedule::Constant(0.05), 0.9);
+        for _ in 0..200 {
+            quadratic_loss(&p);
+            opt.step();
+        }
+        assert!(p.value().allclose(&Tensor::full(&[2], 3.0), 1e-2));
+    }
+
+    #[test]
+    fn frozen_params_are_not_updated_but_grads_cleared() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.set_trainable(false);
+        let mut opt = Adam::new(vec![p.clone()], LrSchedule::Constant(0.1));
+        // Manually force a gradient (accumulate_grad skips frozen params).
+        p.set_trainable(true);
+        p.accumulate_grad(&Tensor::ones(&[2]));
+        p.set_trainable(false);
+        opt.step();
+        assert_eq!(p.value().data(), &[0.0, 0.0]);
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn warmup_cosine_shape() {
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            warmup: 10,
+            total: 110,
+            floor_frac: 0.1,
+        };
+        assert!(s.at(0) < s.at(5));
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        assert!(s.at(50) < 1.0);
+        assert!((s.at(1000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            gamma: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only_when_needed() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0, 0.0], &[3]));
+        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        assert!((p.grad().norm() - 1.0).abs() < 1e-5);
+        // Already small: untouched.
+        let q = Param::new("q", Tensor::zeros(&[1]));
+        q.accumulate_grad(&Tensor::from_vec(vec![0.5], &[1]));
+        clip_grad_norm(&[q.clone()], 1.0);
+        assert!((q.grad().item() - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn adam_state_survives_freeze_unfreeze() {
+        let p = Param::new("w", Tensor::zeros(&[1]));
+        let mut opt = Adam::new(vec![p.clone()], LrSchedule::Constant(0.1));
+        quadratic_loss(&p);
+        opt.step();
+        let after_one = p.value().item();
+        p.set_trainable(false);
+        quadratic_loss(&p);
+        opt.step();
+        assert_eq!(p.value().item(), after_one, "frozen step must not move w");
+        p.set_trainable(true);
+        quadratic_loss(&p);
+        opt.step();
+        assert!(p.value().item() > after_one, "unfrozen step moves w again");
+    }
+}

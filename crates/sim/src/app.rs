@@ -1,0 +1,195 @@
+//! Traffic-generating applications.
+//!
+//! Two kinds, matching Fig. 4:
+//! * [`App::MessageSource`] — the paper's foreground senders: Poisson
+//!   message arrivals with heavy-tailed sizes, tuned to an average
+//!   offered bit rate (1 Mbps each in the pre-training setup).
+//! * [`App::CbrSource`] — cross-traffic: app-limited TCP offering a
+//!   constant bit rate (the paper's "20 Mbps of TCP flows").
+
+use crate::packet::FlowId;
+use crate::time::SimTime;
+use crate::workload::{exp_interarrival, MsgSizeDist};
+use rand::rngs::StdRng;
+
+/// What an application does when its wake event fires.
+#[derive(Debug, PartialEq)]
+pub struct AppAction {
+    /// Submit a message of this many bytes to the flow (None = idle tick).
+    pub submit_bytes: Option<u64>,
+    /// When to wake again (None = app finished).
+    pub next_wake: Option<SimTime>,
+}
+
+/// A traffic source attached to one flow.
+pub enum App {
+    /// Poisson arrivals of heavy-tailed messages at a target mean rate.
+    MessageSource {
+        flow: FlowId,
+        dist: MsgSizeDist,
+        /// Mean seconds between message arrivals.
+        mean_gap_secs: f64,
+        /// Stop generating after this time (messages in flight still drain).
+        active_until: SimTime,
+    },
+    /// Constant-bit-rate chunks (app-limited TCP cross-traffic).
+    CbrSource {
+        flow: FlowId,
+        chunk_bytes: u64,
+        interval: SimTime,
+        active_until: SimTime,
+    },
+}
+
+impl App {
+    /// Build a message source offering `rate_bps` on average.
+    pub fn message_source(
+        flow: FlowId,
+        dist: MsgSizeDist,
+        rate_bps: f64,
+        active_until: SimTime,
+    ) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        let mean_gap_secs = dist.mean_bytes() * 8.0 / rate_bps;
+        App::MessageSource {
+            flow,
+            dist,
+            mean_gap_secs,
+            active_until,
+        }
+    }
+
+    /// Build a CBR source offering `rate_bps` in `chunk_bytes` pieces.
+    pub fn cbr_source(flow: FlowId, chunk_bytes: u64, rate_bps: f64, active_until: SimTime) -> Self {
+        assert!(rate_bps > 0.0 && chunk_bytes > 0);
+        let interval = SimTime::from_secs_f64(chunk_bytes as f64 * 8.0 / rate_bps);
+        App::CbrSource {
+            flow,
+            chunk_bytes,
+            interval,
+            active_until,
+        }
+    }
+
+    /// The flow this app feeds.
+    pub fn flow(&self) -> FlowId {
+        match self {
+            App::MessageSource { flow, .. } | App::CbrSource { flow, .. } => *flow,
+        }
+    }
+
+    /// Handle a wake event at `now`, drawing randomness from `rng`.
+    pub fn on_wake(&self, now: SimTime, rng: &mut StdRng) -> AppAction {
+        match self {
+            App::MessageSource {
+                dist,
+                mean_gap_secs,
+                active_until,
+                ..
+            } => {
+                if now > *active_until {
+                    return AppAction {
+                        submit_bytes: None,
+                        next_wake: None,
+                    };
+                }
+                let size = dist.sample(rng);
+                let gap = exp_interarrival(rng, *mean_gap_secs);
+                AppAction {
+                    submit_bytes: Some(size),
+                    next_wake: Some(now + SimTime::from_secs_f64(gap)),
+                }
+            }
+            App::CbrSource {
+                chunk_bytes,
+                interval,
+                active_until,
+                ..
+            } => {
+                if now > *active_until {
+                    return AppAction {
+                        submit_bytes: None,
+                        next_wake: None,
+                    };
+                }
+                AppAction {
+                    submit_bytes: Some(*chunk_bytes),
+                    next_wake: Some(now + *interval),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn message_source_rate_tuning() {
+        // Fixed 12500-byte messages at 1 Mbps -> one message per 0.1 s.
+        let app = App::message_source(
+            0,
+            MsgSizeDist::Fixed { bytes: 12_500 },
+            1_000_000.0,
+            SimTime::from_secs(60),
+        );
+        match app {
+            App::MessageSource { mean_gap_secs, .. } => {
+                assert!((mean_gap_secs - 0.1).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn message_source_stops_after_deadline() {
+        let app = App::message_source(
+            0,
+            MsgSizeDist::Fixed { bytes: 1000 },
+            1e6,
+            SimTime::from_secs(1),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let act = app.on_wake(SimTime::from_secs(2), &mut rng);
+        assert_eq!(act.submit_bytes, None);
+        assert_eq!(act.next_wake, None);
+        let act2 = app.on_wake(SimTime::from_millis(500), &mut rng);
+        assert!(act2.submit_bytes.is_some());
+        assert!(act2.next_wake.unwrap() > SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn cbr_interval_matches_rate() {
+        // 1446 bytes at ~11.568 Mbps -> exactly 1 ms.
+        let app = App::cbr_source(1, 1446, 11_568_000.0, SimTime::from_secs(10));
+        match app {
+            App::CbrSource { interval, .. } => assert_eq!(interval, SimTime::from_millis(1)),
+            _ => unreachable!(),
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let act = app.on_wake(SimTime::from_secs(1), &mut rng);
+        assert_eq!(act.submit_bytes, Some(1446));
+        assert_eq!(
+            act.next_wake,
+            Some(SimTime::from_secs(1) + SimTime::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn cbr_offered_rate_integrates_correctly() {
+        let rate = 20_000_000.0; // 20 Mbps
+        let app = App::cbr_source(2, 1446, rate, SimTime::from_secs(100));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut now = SimTime::ZERO;
+        let mut bytes = 0u64;
+        while now < SimTime::from_secs(1) {
+            let act = app.on_wake(now, &mut rng);
+            bytes += act.submit_bytes.unwrap();
+            now = act.next_wake.unwrap();
+        }
+        let bps = bytes as f64 * 8.0;
+        assert!((bps - rate).abs() / rate < 0.01, "offered {bps}");
+    }
+}

@@ -1,0 +1,171 @@
+//! The event queue: the reactor at the heart of the simulator.
+//!
+//! Events are ordered by `(time, insertion sequence)` — the tiebreaker
+//! makes the simulation fully deterministic regardless of heap
+//! internals, which is what lets every experiment in this repository be
+//! reproduced bit-for-bit from a seed.
+
+use crate::packet::{AppId, FlowId, LinkId, Packet};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Something that will happen at a point in simulated time.
+#[derive(Debug)]
+pub enum Event {
+    /// An application wakes up to generate traffic.
+    AppWake { app: AppId },
+    /// A link finished serializing the packet at the head of its queue.
+    TxComplete { link: LinkId },
+    /// A packet finished propagating and arrives at the link's far end.
+    Arrival { link: LinkId, packet: Packet },
+    /// Retransmission-timer check for a flow. `epoch` guards against
+    /// stale timers: the flow ignores checks whose epoch is outdated.
+    RtoCheck { flow: FlowId, epoch: u64 },
+    /// Periodic queue-occupancy telemetry sample for a link (§5's
+    /// "network telemetry" extension).
+    Telemetry { link: LinkId },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic min-queue of scheduled events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is
+    /// a simulator bug and panics.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: Event) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), Event::AppWake { app: 3 });
+        q.schedule(SimTime(10), Event::AppWake { app: 1 });
+        q.schedule(SimTime(20), Event::AppWake { app: 2 });
+        let mut order = vec![];
+        while let Some((t, Event::AppWake { app })) = q.pop() {
+            order.push((t.as_nanos(), app));
+        }
+        assert_eq!(order, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for app in 0..5 {
+            q.schedule(SimTime(7), Event::AppWake { app });
+        }
+        let mut order = vec![];
+        while let Some((_, Event::AppWake { app })) = q.pop() {
+            order.push(app);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimTime::from_millis(5), Event::AppWake { app: 0 });
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(5));
+        q.schedule_in(SimTime::from_millis(2), Event::AppWake { app: 1 });
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), Event::AppWake { app: 0 });
+        q.pop();
+        q.schedule(SimTime(5), Event::AppWake { app: 0 });
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime(1), Event::AppWake { app: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! # ntt-sim
+//!
+//! A deterministic packet-level discrete-event network simulator — the
+//! ns-3 substitute for the Network Traffic Transformer reproduction
+//! ("A New Hope for Network Model Generalization", HotNets '22).
+//!
+//! ## What is implemented
+//! * nanosecond event queue with deterministic tie-breaking
+//! * store-and-forward links: rate, propagation delay, drop-tail FIFO
+//!   queues sized in packets, optional random-loss fault injection
+//! * static BFS shortest-path routing over arbitrary topologies
+//! * simplified TCP Reno (slow start, AIMD, dup-ACK fast retransmit,
+//!   RTO with Karn's rule + exponential backoff), packet-granularity
+//!   sequence numbers
+//! * message-based sender apps (Poisson arrivals, heavy-tailed
+//!   Homa-like sizes) and CBR-over-TCP cross-traffic
+//! * the paper's Fig. 4 dataset scenarios (pre-training, fine-tuning
+//!   case 1 and case 2) and receiver-side trace collection
+//!
+//! ## What is deliberately omitted (DESIGN.md §7)
+//! SACK, delayed ACKs, Nagle, window scaling, ECN, byte-granularity
+//! sequence space, IP headers/addressing (the paper uses a receiver-ID
+//! proxy instead).
+//!
+//! ```
+//! use ntt_sim::scenarios::{run, Scenario, ScenarioConfig};
+//!
+//! let cfg = ScenarioConfig::tiny(42);
+//! let trace = run(Scenario::Pretrain, &cfg);
+//! assert!(trace.packets.len() > 100);
+//! // Every record carries the four NTT input features:
+//! let p = &trace.packets[0];
+//! let _ = (p.recv_ns, p.size_bytes, p.receiver_group, p.delay_ns);
+//! ```
+
+pub mod app;
+pub mod event;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod persist;
+pub mod scenarios;
+#[allow(clippy::module_inception)]
+pub mod sim;
+pub mod tcp;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod workload;
+
+pub use app::App;
+pub use event::{Event, EventQueue};
+pub use link::{Enqueue, Link, LinkConfig, LinkStats};
+pub use node::{Node, NodeKind};
+pub use packet::{AppId, FlowId, LinkId, MsgId, NodeId, Packet, PacketKind, ACK_BYTES, HEADER_BYTES, MSS};
+pub use scenarios::{RunTrace, Scenario, ScenarioConfig};
+pub use sim::{SimStats, Simulator};
+pub use tcp::{TcpConfig, TcpFlow};
+pub use time::SimTime;
+pub use topology::TopologyBuilder;
+pub use persist::{load_trace, save_trace};
+pub use trace::{MessageRecord, PacketRecord, QueueSample, TraceCollector};

@@ -1,0 +1,76 @@
+//! Nodes (hosts and switches) and static routing.
+
+use crate::packet::{LinkId, NodeId};
+
+/// What a node is. Hosts terminate flows; switches only forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    Host,
+    Switch,
+}
+
+/// A network node with a static next-hop table (computed once from the
+/// topology by BFS; the paper's networks are static).
+pub struct Node {
+    pub id: NodeId,
+    pub kind: NodeKind,
+    pub name: String,
+    /// `routes[dst]` = link to forward on for packets to `dst`.
+    routes: Vec<Option<LinkId>>,
+}
+
+impl Node {
+    pub fn new(id: NodeId, kind: NodeKind, name: impl Into<String>) -> Self {
+        Node {
+            id,
+            kind,
+            name: name.into(),
+            routes: Vec::new(),
+        }
+    }
+
+    /// Install the full next-hop table.
+    pub fn set_routes(&mut self, routes: Vec<Option<LinkId>>) {
+        self.routes = routes;
+    }
+
+    /// Next-hop link toward `dst`. Panics on unroutable destinations —
+    /// a static topology with unreachable pairs is a builder bug, not a
+    /// runtime condition.
+    pub fn route(&self, dst: NodeId) -> LinkId {
+        self.routes
+            .get(dst)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("node {} ({}) has no route to {dst}", self.id, self.name))
+    }
+
+    /// Whether a route to `dst` exists.
+    pub fn has_route(&self, dst: NodeId) -> bool {
+        matches!(self.routes.get(dst), Some(Some(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_lookup() {
+        let mut n = Node::new(0, NodeKind::Switch, "sw0");
+        n.set_routes(vec![None, Some(3), Some(7)]);
+        assert_eq!(n.route(1), 3);
+        assert_eq!(n.route(2), 7);
+        assert!(n.has_route(1));
+        assert!(!n.has_route(0));
+        assert!(!n.has_route(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unroutable_is_a_builder_bug() {
+        let mut n = Node::new(0, NodeKind::Host, "h0");
+        n.set_routes(vec![None]);
+        n.route(0);
+    }
+}

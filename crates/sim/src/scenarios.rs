@@ -1,0 +1,397 @@
+//! The paper's dataset-generation setups (Fig. 4).
+//!
+//! Three builders:
+//! * [`pretrain`] — 60 senders × 1 Mbps of messages through one 30 Mbps
+//!   bottleneck (queue 1000 packets) to a single receiver.
+//! * [`case1`] — the same topology plus 20 Mbps of TCP cross-traffic
+//!   (fine-tuning case 1; cross-traffic packets are *not* traced).
+//! * [`case2`] — a larger chain topology with three receivers at
+//!   different path depths and a cross-traffic source on every hop, so
+//!   packets toward different receivers see different delays and
+//!   congestion (fine-tuning case 2).
+
+use crate::app::App;
+use crate::link::LinkConfig;
+use crate::packet::NodeId;
+use crate::sim::Simulator;
+use crate::tcp::{TcpConfig, TcpFlow};
+use crate::time::SimTime;
+use crate::topology::TopologyBuilder;
+use crate::trace::{MessageRecord, PacketRecord};
+use crate::workload::MsgSizeDist;
+
+/// Which Fig. 4 setup to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    Pretrain,
+    Case1,
+    Case2,
+}
+
+/// All tunables of the Fig. 4 setups. `Default` reproduces the paper's
+/// numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Foreground message senders (paper: 60).
+    pub n_senders: usize,
+    /// Average offered rate per sender (paper: 1 Mbps).
+    pub sender_rate_bps: f64,
+    /// Access link speed for hosts.
+    pub access_bps: u64,
+    pub access_delay: SimTime,
+    /// Bottleneck link speed (paper: 30 Mbps).
+    pub bottleneck_bps: u64,
+    pub bottleneck_delay: SimTime,
+    /// Bottleneck queue capacity in packets (paper: 1000).
+    pub bottleneck_queue: usize,
+    /// Message size distribution (paper: real-world / Homa-like).
+    pub msg_dist: MsgSizeDist,
+    /// Traffic generation period per run (paper: 1 minute).
+    pub duration: SimTime,
+    /// Extra time after `duration` to let in-flight traffic drain.
+    pub drain: SimTime,
+    /// Application start jitter (paper: randomized start times).
+    pub start_jitter: SimTime,
+    /// Aggregate cross-traffic rate (cases 1-2; paper: 20 Mbps).
+    pub cross_rate_bps: f64,
+    /// Number of TCP flows the cross-traffic is split over.
+    pub n_cross_flows: usize,
+    pub tcp: TcpConfig,
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            n_senders: 60,
+            sender_rate_bps: 1_000_000.0,
+            access_bps: 100_000_000,
+            access_delay: SimTime::from_micros(50),
+            bottleneck_bps: 30_000_000,
+            bottleneck_delay: SimTime::from_millis(10),
+            bottleneck_queue: 1000,
+            msg_dist: MsgSizeDist::HomaLike,
+            duration: SimTime::from_secs(60),
+            drain: SimTime::from_secs(2),
+            start_jitter: SimTime::from_secs(1),
+            cross_rate_bps: 20_000_000.0,
+            n_cross_flows: 4,
+            tcp: TcpConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A miniaturized config for tests and quick experiments: fewer
+    /// senders, shorter runs, proportionally scaled-down links, and a
+    /// bounded message-size distribution (the unbounded Homa-like tail
+    /// makes 3-second runs statistically unstable). Foreground load is
+    /// ~60% of the bottleneck so that adding cross-traffic visibly
+    /// shifts the delay distribution.
+    pub fn tiny(seed: u64) -> Self {
+        ScenarioConfig {
+            n_senders: 6,
+            sender_rate_bps: 400_000.0,
+            bottleneck_bps: 4_000_000,
+            bottleneck_queue: 100,
+            msg_dist: MsgSizeDist::LogUniform {
+                min: 2_000,
+                max: 200_000,
+            },
+            duration: SimTime::from_secs(4),
+            drain: SimTime::from_secs(1),
+            start_jitter: SimTime::from_millis(200),
+            cross_rate_bps: 2_000_000.0,
+            n_cross_flows: 2,
+            seed,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// The trace produced by one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    pub packets: Vec<PacketRecord>,
+    pub messages: Vec<MessageRecord>,
+    pub events: u64,
+    pub drops: u64,
+}
+
+fn access_cfg(cfg: &ScenarioConfig) -> LinkConfig {
+    LinkConfig {
+        rate_bps: cfg.access_bps,
+        prop_delay: cfg.access_delay,
+        queue_capacity: 10_000,
+        loss_prob: 0.0,
+    }
+}
+
+fn bottleneck_cfg(cfg: &ScenarioConfig) -> LinkConfig {
+    LinkConfig {
+        rate_bps: cfg.bottleneck_bps,
+        prop_delay: cfg.bottleneck_delay,
+        queue_capacity: cfg.bottleneck_queue,
+        loss_prob: 0.0,
+    }
+}
+
+/// Shared assembly: attach `n_senders` message apps, one per flow
+/// `sender -> receivers[i % len]`, plus cross-traffic flows.
+struct Assembly {
+    topo: TopologyBuilder,
+    flows: Vec<TcpFlow>,
+    apps: Vec<App>,
+    foreground: Vec<usize>,
+    receivers: Vec<NodeId>,
+}
+
+impl Assembly {
+    fn finish(self, cfg: &ScenarioConfig) -> Simulator {
+        let (nodes, links) = self.topo.build();
+        let mut sim = Simulator::new(nodes, links, self.flows, self.apps, cfg.seed);
+        for f in &self.foreground {
+            sim.trace.record_flow(*f);
+        }
+        for (group, r) in self.receivers.iter().enumerate() {
+            sim.trace.set_receiver_group(*r, group as u32);
+        }
+        sim
+    }
+}
+
+/// Attach foreground senders (hosts + flows + apps) at `edge_switch`,
+/// targeting `receivers` round-robin.
+fn add_senders(
+    a: &mut Assembly,
+    cfg: &ScenarioConfig,
+    edge_switch: NodeId,
+    receivers: &[NodeId],
+) {
+    for i in 0..cfg.n_senders {
+        let host = a.topo.add_host(format!("sender{i}"));
+        a.topo.connect(host, edge_switch, access_cfg(cfg));
+        let dst = receivers[i % receivers.len()];
+        let flow_id = a.flows.len();
+        a.flows.push(TcpFlow::new(flow_id, host, dst, cfg.tcp));
+        a.foreground.push(flow_id);
+        a.apps.push(App::message_source(
+            flow_id,
+            cfg.msg_dist,
+            cfg.sender_rate_bps,
+            cfg.duration,
+        ));
+    }
+}
+
+/// Attach `n` cross-traffic flows from fresh hosts at `src_switch` to
+/// fresh sinks at `dst_switch`, sharing `rate_bps` equally.
+fn add_cross(
+    a: &mut Assembly,
+    cfg: &ScenarioConfig,
+    src_switch: NodeId,
+    dst_switch: NodeId,
+    n: usize,
+    rate_bps: f64,
+) {
+    if n == 0 || rate_bps <= 0.0 {
+        return;
+    }
+    let per_flow = rate_bps / n as f64;
+    for i in 0..n {
+        let src = a.topo.add_host(format!("cross_src{}_{i}", src_switch));
+        let dst = a.topo.add_host(format!("cross_dst{}_{i}", dst_switch));
+        a.topo.connect(src, src_switch, access_cfg(cfg));
+        a.topo.connect(dst, dst_switch, access_cfg(cfg));
+        let flow_id = a.flows.len();
+        a.flows.push(TcpFlow::new(flow_id, src, dst, cfg.tcp));
+        a.apps.push(App::cbr_source(
+            flow_id,
+            crate::packet::MSS as u64,
+            per_flow,
+            cfg.duration,
+        ));
+    }
+}
+
+/// Pre-training setup: senders -> SW_L =bottleneck=> SW_R -> receiver.
+pub fn pretrain(cfg: &ScenarioConfig) -> Simulator {
+    build_dumbbell(cfg, false)
+}
+
+/// Fine-tuning case 1: pre-training topology + cross-traffic over the
+/// same bottleneck.
+pub fn case1(cfg: &ScenarioConfig) -> Simulator {
+    build_dumbbell(cfg, true)
+}
+
+fn build_dumbbell(cfg: &ScenarioConfig, cross: bool) -> Simulator {
+    let mut a = Assembly {
+        topo: TopologyBuilder::new(),
+        flows: Vec::new(),
+        apps: Vec::new(),
+        foreground: Vec::new(),
+        receivers: Vec::new(),
+    };
+    let sw_l = a.topo.add_switch("sw_l");
+    let sw_r = a.topo.add_switch("sw_r");
+    a.topo.connect(sw_l, sw_r, bottleneck_cfg(cfg));
+    let recv = a.topo.add_host("receiver");
+    a.topo.connect(sw_r, recv, access_cfg(cfg));
+    a.receivers.push(recv);
+    add_senders(&mut a, cfg, sw_l, &[recv]);
+    if cross {
+        add_cross(&mut a, cfg, sw_l, sw_r, cfg.n_cross_flows, cfg.cross_rate_bps);
+    }
+    a.finish(cfg)
+}
+
+/// Fine-tuning case 2: a chain SW0 => SW1 => SW2 => SW3 with receivers
+/// R1@SW1, R2@SW2, R3@SW3 (different path depths) and cross-traffic
+/// entering at every hop.
+pub fn case2(cfg: &ScenarioConfig) -> Simulator {
+    let mut a = Assembly {
+        topo: TopologyBuilder::new(),
+        flows: Vec::new(),
+        apps: Vec::new(),
+        foreground: Vec::new(),
+        receivers: Vec::new(),
+    };
+    let sw: Vec<NodeId> = (0..4).map(|i| a.topo.add_switch(format!("sw{i}"))).collect();
+    for w in sw.windows(2) {
+        a.topo.connect(w[0], w[1], bottleneck_cfg(cfg));
+    }
+    for (i, &s) in sw[1..].iter().enumerate() {
+        let r = a.topo.add_host(format!("recv{}", i + 1));
+        a.topo.connect(s, r, access_cfg(cfg));
+        a.receivers.push(r);
+    }
+    let receivers = a.receivers.clone();
+    add_senders(&mut a, cfg, sw[0], &receivers);
+    // One cross-traffic bundle per hop, each taking a share of the rate.
+    let hops = 3;
+    let per_hop = cfg.cross_rate_bps / hops as f64;
+    let flows_per_hop = cfg.n_cross_flows.div_ceil(hops);
+    for h in 0..hops {
+        add_cross(&mut a, cfg, sw[h], sw[h + 1], flows_per_hop, per_hop);
+    }
+    a.finish(cfg)
+}
+
+/// Build, start apps with jitter, run to completion, and extract the
+/// trace — one paper "simulation run".
+pub fn run(scenario: Scenario, cfg: &ScenarioConfig) -> RunTrace {
+    let mut sim = match scenario {
+        Scenario::Pretrain => pretrain(cfg),
+        Scenario::Case1 => case1(cfg),
+        Scenario::Case2 => case2(cfg),
+    };
+    sim.start_all_apps_jittered(cfg.start_jitter);
+    sim.run_until(cfg.duration + cfg.drain);
+    let mut packets = std::mem::take(&mut sim.trace.packets);
+    packets.sort_by_key(|p| (p.recv_ns, p.flow, p.seq));
+    let mut messages = std::mem::take(&mut sim.trace.messages);
+    messages.sort_by_key(|m| (m.completed_ns, m.flow, m.msg_id));
+    RunTrace {
+        packets,
+        messages,
+        events: sim.stats.events_processed,
+        drops: sim.total_drops(),
+    }
+}
+
+/// The paper's datasets are 10 runs with different randomized starts:
+/// run `n_runs` with seeds `cfg.seed, cfg.seed+1, ...`.
+pub fn run_many(scenario: Scenario, cfg: &ScenarioConfig, n_runs: usize) -> Vec<RunTrace> {
+    (0..n_runs)
+        .map(|i| {
+            let mut c = *cfg;
+            c.seed = cfg.seed.wrapping_add(i as u64);
+            run(scenario, &c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pretrain_produces_congested_trace() {
+        let cfg = ScenarioConfig::tiny(1);
+        let trace = run(Scenario::Pretrain, &cfg);
+        assert!(trace.packets.len() > 300, "got {} packets", trace.packets.len());
+        assert!(!trace.messages.is_empty());
+        // Message bursts through the bottleneck: delays must vary.
+        let min = trace.packets.iter().map(|p| p.delay_ns).min().unwrap();
+        let max = trace.packets.iter().map(|p| p.delay_ns).max().unwrap();
+        assert!(max > 3 * min, "no delay dynamics: {min}..{max}");
+    }
+
+    #[test]
+    fn traces_are_sorted_by_arrival() {
+        let trace = run(Scenario::Pretrain, &ScenarioConfig::tiny(2));
+        assert!(trace.packets.windows(2).all(|w| w[0].recv_ns <= w[1].recv_ns));
+    }
+
+    #[test]
+    fn case1_has_more_delay_than_pretrain_same_seed() {
+        let cfg = ScenarioConfig::tiny(3);
+        let base = run(Scenario::Pretrain, &cfg);
+        let crossed = run(Scenario::Case1, &cfg);
+        let mean = |t: &RunTrace| {
+            t.packets.iter().map(|p| p.delay_ns as f64).sum::<f64>() / t.packets.len() as f64
+        };
+        assert!(
+            mean(&crossed) > mean(&base),
+            "cross traffic should add queueing: {} vs {}",
+            mean(&crossed),
+            mean(&base)
+        );
+    }
+
+    #[test]
+    fn case1_never_traces_cross_traffic() {
+        let cfg = ScenarioConfig::tiny(4);
+        let sim = case1(&cfg);
+        // Cross flows are those beyond the foreground senders.
+        let trace = run(Scenario::Case1, &cfg);
+        for p in &trace.packets {
+            assert!(p.flow < cfg.n_senders, "cross flow {} traced", p.flow);
+        }
+        drop(sim);
+    }
+
+    #[test]
+    fn case2_has_multiple_receiver_groups_with_different_delays() {
+        let cfg = ScenarioConfig::tiny(5);
+        let trace = run(Scenario::Case2, &cfg);
+        let mut per_group: std::collections::HashMap<u32, Vec<f64>> = Default::default();
+        for p in &trace.packets {
+            per_group.entry(p.receiver_group).or_default().push(p.delay_ns as f64);
+        }
+        assert_eq!(per_group.len(), 3, "three receiver groups");
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        let m0 = mean(&per_group[&0]);
+        let m2 = mean(&per_group[&2]);
+        assert!(
+            m2 > m0,
+            "deeper receiver should see larger delay: {m0} vs {m2}"
+        );
+    }
+
+    #[test]
+    fn run_many_varies_seed_but_is_reproducible() {
+        let cfg = ScenarioConfig::tiny(7);
+        let a = run_many(Scenario::Pretrain, &cfg, 2);
+        let b = run_many(Scenario::Pretrain, &cfg, 2);
+        assert_eq!(a[0].packets.len(), b[0].packets.len());
+        assert_eq!(a[1].packets.len(), b[1].packets.len());
+        assert_ne!(
+            a[0].packets.len(),
+            a[1].packets.len(),
+            "different seeds should differ (extremely unlikely to tie)"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulation time: integer nanoseconds.
+//!
+//! Discrete-event simulation must never accumulate floating-point error
+//! in its clock (two events scheduled "at the same time" must compare
+//! equal), so the clock is a `u64` nanosecond counter wrapped in a
+//! newtype. Conversions to `f64` seconds exist only at the trace/feature
+//! boundary.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds (rounded to the nearest nanosecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "invalid time {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Nanosecond count.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds (trace/feature boundary only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference (`self - earlier`, clamped at zero).
+    pub fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Serialization time of `bytes` at `rate_bps` (bits per second),
+    /// rounded up so a nonzero payload never serializes in zero time.
+    pub fn tx_time(bytes: u64, rate_bps: u64) -> SimTime {
+        assert!(rate_bps > 0, "link rate must be positive");
+        let bits = bytes * 8;
+        SimTime((bits * 1_000_000_000).div_ceil(rate_bps))
+    }
+
+    /// Scale by an f64 factor (for RTO backoff), rounded.
+    pub fn mul_f64(self, k: f64) -> SimTime {
+        assert!(k >= 0.0 && k.is_finite());
+        SimTime((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime underflow: {self} - {rhs}");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert!((SimTime::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_time_matches_bandwidth_math() {
+        // 1500 bytes at 30 Mbps = 12000 bits / 30e6 bps = 400 microseconds.
+        assert_eq!(SimTime::tx_time(1500, 30_000_000), SimTime::from_micros(400));
+        // Rounds up: 1 byte at 1 Gbps = 8 ns exactly.
+        assert_eq!(SimTime::tx_time(1, 1_000_000_000), SimTime(8));
+        // Never zero for nonzero payloads.
+        assert!(SimTime::tx_time(1, u32::MAX as u64 * 8).as_nanos() > 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(3);
+        assert_eq!(a + b, SimTime::from_millis(8));
+        assert_eq!(a - b, SimTime::from_millis(2));
+        assert_eq!(b.saturating_since(a), SimTime::ZERO);
+        assert_eq!(a.saturating_since(b), SimTime::from_millis(2));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_millis(8));
+        assert_eq!(a.mul_f64(2.0), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime(7), SimTime(7));
+    }
+}

@@ -1,0 +1,245 @@
+//! Matrix-multiplication kernels.
+//!
+//! Three layouts cover forward and backward passes without materializing
+//! transposes:
+//!
+//! * `gemm_nn`: `C += A[m,k] · B[k,n]`
+//! * `gemm_nt`: `C += A[m,k] · B[n,k]ᵀ`   (gradient w.r.t. the left operand)
+//! * `gemm_tn`: `C += A[k,m]ᵀ · B[k,n]`   (gradient w.r.t. the right operand)
+//!
+//! All kernels use an `i-k-j` loop order so the innermost loop walks both
+//! `B` and `C` contiguously — this autovectorizes well and is an order of
+//! magnitude faster than the naive `i-j-k` order. Work above
+//! [`PAR_THRESHOLD`] FLOPs is split over row blocks on scoped crossbeam
+//! threads (the guides are explicit that CPU-bound work belongs on
+//! threads, not an async runtime).
+
+/// Minimum multiply-accumulate count before spawning threads; below this
+/// the spawn overhead dominates.
+pub const PAR_THRESHOLD: usize = 1 << 18;
+
+fn par_rows(m: usize, work_per_row: usize) -> usize {
+    let total = m * work_per_row;
+    if total < PAR_THRESHOLD {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cores.min(m).max(1)
+}
+
+/// Run `body(row_range, c_chunk)` over `m` rows, in parallel when profitable.
+fn for_row_blocks<F>(m: usize, n: usize, work_per_row: usize, c: &mut [f32], body: F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+{
+    let threads = par_rows(m, work_per_row);
+    if threads <= 1 {
+        body(0..m, c);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = c;
+        let mut start = 0usize;
+        while start < m {
+            let rows = rows_per.min(m - start);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let range = start..start + rows;
+            let body = &body;
+            s.spawn(move |_| body(range, chunk));
+            start += rows;
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+/// `C[m,n] += A[m,k] · B[k,n]`.
+pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for_row_blocks(m, n, k * n, c, |rows, chunk| {
+        for (ci, i) in rows.enumerate() {
+            let crow = &mut chunk[ci * n..(ci + 1) * n];
+            for p in 0..k {
+                let aval = a[i * k + p];
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aval * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `C[m,n] += A[m,k] · B[n,k]ᵀ` — i.e. rows of `B` are dotted against rows
+/// of `A`. Inner loop is a dot product over contiguous memory in both
+/// operands.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for_row_blocks(m, n, k * n, c, |rows, chunk| {
+        for (ci, i) in rows.enumerate() {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut chunk[ci * n..(ci + 1) * n];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                *cv += acc;
+            }
+        }
+    });
+}
+
+/// `C[m,n] += A[k,m]ᵀ · B[k,n]`.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    // Parallel split over output rows is awkward here (A is walked
+    // column-wise), so split over row blocks but iterate p outermost
+    // inside each block for contiguous access to B and C.
+    for_row_blocks(m, n, k * n, c, |rows, chunk| {
+        let row0 = rows.start;
+        for p in 0..k {
+            let brow = &b[p * n..(p + 1) * n];
+            for i in rows.clone() {
+                let aval = a[p * m + i];
+                if aval == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[(i - row0) * n..(i - row0 + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aval * bv;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        crate::Tensor::randn(&[n], seed).into_data()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn nn_matches_naive_small() {
+        let (m, k, n) = (3, 4, 5);
+        let a = rand_vec(m * k, 1);
+        let b = rand_vec(k * n, 2);
+        let mut c = vec![0.0; m * n];
+        gemm_nn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_nn(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn nn_matches_naive_large_parallel() {
+        // Large enough to cross PAR_THRESHOLD and exercise the threaded path.
+        let (m, k, n) = (97, 64, 130);
+        let a = rand_vec(m * k, 3);
+        let b = rand_vec(k * n, 4);
+        let mut c = vec![0.0; m * n];
+        gemm_nn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_nn(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn nn_accumulates_into_c() {
+        let (m, k, n) = (2, 2, 2);
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![1.0; 4];
+        gemm_nn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &[6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn nt_matches_transposed_naive() {
+        let (m, k, n) = (6, 7, 5);
+        let a = rand_vec(m * k, 5);
+        let bt = rand_vec(n * k, 6); // B stored as [n, k]
+        // Reference: build B=[k,n] from bt and run naive.
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_nt(&a, &bt, &mut c, m, k, n);
+        assert_close(&c, &naive_nn(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn tn_matches_transposed_naive() {
+        let (m, k, n) = (5, 8, 4);
+        let at = rand_vec(k * m, 7); // A stored as [k, m]
+        let b = rand_vec(k * n, 8);
+        let mut a = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_tn(&at, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_nn(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn tn_large_parallel_path() {
+        let (m, k, n) = (80, 70, 90);
+        let at = rand_vec(k * m, 9);
+        let b = rand_vec(k * n, 10);
+        let mut a = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        gemm_tn(&at, &b, &mut c1, m, k, n);
+        assert_close(&c1, &naive_nn(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn degenerate_dims_are_fine() {
+        let mut c = vec![0.0; 0];
+        gemm_nn(&[], &[], &mut c, 0, 0, 0);
+        let a = vec![2.0];
+        let b = vec![3.0];
+        let mut c = vec![0.0];
+        gemm_nn(&a, &b, &mut c, 1, 1, 1);
+        assert_eq!(c, vec![6.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Trainable parameters.
+//!
+//! A [`Param`] is a shared, named tensor with an accompanying gradient
+//! accumulator. The tape holds clones of the `Rc` so that `backward`
+//! can deposit gradients directly into the parameter, and optimizers
+//! iterate over the same handles to apply updates. Training is
+//! single-threaded by design (matmul kernels parallelize internally),
+//! so `Rc<RefCell<..>>` is the honest tool — no atomics pretending
+//! otherwise.
+
+use crate::Tensor;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Frozen parameters receive no gradient and are skipped by
+    /// optimizers — this implements the paper's "decoder only"
+    /// fine-tuning mode (Table 2).
+    trainable: bool,
+}
+
+/// Shared handle to a trainable tensor.
+#[derive(Clone, Debug)]
+pub struct Param(Rc<RefCell<ParamInner>>);
+
+impl Param {
+    /// Create a parameter initialized to `value`.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param(Rc::new(RefCell::new(ParamInner {
+            name: name.into(),
+            value,
+            grad,
+            trainable: true,
+        })))
+    }
+
+    /// Parameter name (used in checkpoints and diagnostics).
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// Clone of the current value.
+    pub fn value(&self) -> Tensor {
+        self.0.borrow().value.clone()
+    }
+
+    /// Shape of the value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.0.borrow().value.shape().to_vec()
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.0.borrow().value.numel()
+    }
+
+    /// Clone of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.0.borrow().grad.clone()
+    }
+
+    /// Replace the value (e.g. when loading a checkpoint).
+    pub fn set_value(&self, value: Tensor) {
+        let mut inner = self.0.borrow_mut();
+        assert_eq!(
+            inner.value.shape(),
+            value.shape(),
+            "set_value shape mismatch for {}",
+            inner.name
+        );
+        inner.value = value;
+    }
+
+    /// Add `g` into the gradient accumulator (no-op when frozen).
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        let mut inner = self.0.borrow_mut();
+        if inner.trainable {
+            inner.grad.add_assign(g);
+        }
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&self) {
+        self.0.borrow_mut().grad.zero_();
+    }
+
+    /// Whether optimizers should update this parameter.
+    pub fn is_trainable(&self) -> bool {
+        self.0.borrow().trainable
+    }
+
+    /// Freeze or unfreeze the parameter.
+    pub fn set_trainable(&self, trainable: bool) {
+        self.0.borrow_mut().trainable = trainable;
+    }
+
+    /// Mutate value and gradient together (the optimizer update hook).
+    pub fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let inner = &mut *self.0.borrow_mut();
+        f(&mut inner.value, &inner.grad);
+    }
+
+    /// Stable identity for optimizer state maps (two clones of the same
+    /// `Param` compare equal).
+    pub fn key(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+}
+
+impl PartialEq for Param {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+impl Eq for Param {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_and_grad_lifecycle() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5, 0.5], &[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![0.5, 1.0], &[2]));
+        assert_eq!(p.grad().data(), &[1.0, 1.5]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn frozen_params_reject_gradients() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.set_trainable(false);
+        p.accumulate_grad(&Tensor::ones(&[2]));
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+        assert!(!p.is_trainable());
+        p.set_trainable(true);
+        p.accumulate_grad(&Tensor::ones(&[2]));
+        assert_eq!(p.grad().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn update_sees_value_and_grad() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0], &[1]));
+        p.accumulate_grad(&Tensor::from_vec(vec![10.0], &[1]));
+        p.update(|v, g| {
+            v.data_mut()[0] -= 0.1 * g.data()[0];
+        });
+        assert!((p.value().data()[0] - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clones_share_identity() {
+        let p = Param::new("w", Tensor::zeros(&[1]));
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_eq!(p.key(), q.key());
+        q.accumulate_grad(&Tensor::ones(&[1]));
+        assert_eq!(p.grad().data(), &[1.0]);
+        let r = Param::new("w", Tensor::zeros(&[1]));
+        assert_ne!(p, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_value shape mismatch")]
+    fn set_value_checks_shape() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+    }
+}

@@ -1,0 +1,157 @@
+//! Shape arithmetic for row-major tensors.
+//!
+//! Shapes are plain `Vec<usize>` dimension lists; this module centralizes
+//! the element-count, stride, and compatibility math so the rest of the
+//! crate never re-derives it ad hoc.
+
+/// Number of elements a shape describes. The empty shape (a "scalar
+/// placeholder") has one element, matching the convention that a tensor
+/// with shape `[]` stores a single value.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for `shape` (innermost dimension has stride 1).
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        out[i] = out[i + 1] * shape[i + 1];
+    }
+    out
+}
+
+/// Flat row-major offset of a multi-dimensional index.
+///
+/// Panics in debug builds if the index is out of range.
+pub fn offset(shape: &[usize], index: &[usize]) -> usize {
+    debug_assert_eq!(shape.len(), index.len(), "index rank mismatch");
+    let mut off = 0;
+    let mut stride = 1;
+    for d in (0..shape.len()).rev() {
+        debug_assert!(index[d] < shape[d], "index out of range in dim {d}");
+        off += index[d] * stride;
+        stride *= shape[d];
+    }
+    off
+}
+
+/// Broadcast relationship between an output shape and a smaller operand.
+///
+/// The tensor crate supports the three explicit broadcast forms the NTT
+/// model needs (kept deliberately narrower than NumPy semantics so every
+/// accepted combination is obviously intentional and separately tested):
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Broadcast {
+    /// Identical shapes.
+    Same,
+    /// `b` matches the trailing dimensions of `a` and is repeated over the
+    /// leading ones (e.g. positional encoding `[T, D]` added to `[B, T, D]`).
+    Leading,
+    /// `b` is a vector matching only the innermost dimension of `a`
+    /// (e.g. a bias `[D]` added to `[B, T, D]`).
+    Inner,
+}
+
+/// Classify how `b` broadcasts against `a`, if at all.
+pub fn broadcast_kind(a: &[usize], b: &[usize]) -> Option<Broadcast> {
+    if a == b {
+        return Some(Broadcast::Same);
+    }
+    if b.len() < a.len() && !b.is_empty() && a[a.len() - b.len()..] == *b {
+        if b.len() == 1 {
+            return Some(Broadcast::Inner);
+        }
+        return Some(Broadcast::Leading);
+    }
+    None
+}
+
+/// Validate a reshape: the element counts must match.
+pub fn check_reshape(from: &[usize], to: &[usize]) {
+    assert_eq!(
+        numel(from),
+        numel(to),
+        "reshape cannot change element count: {from:?} -> {to:?}"
+    );
+}
+
+/// Split a shape interpreted as `[batch..., rows, cols]` into
+/// `(batch_product, rows, cols)`. Used by the matmul front-end, which
+/// treats every tensor of rank >= 2 as a stack of matrices.
+pub fn as_batched_matrix(shape: &[usize]) -> (usize, usize, usize) {
+    assert!(
+        shape.len() >= 2,
+        "matrix view requires rank >= 2, got {shape:?}"
+    );
+    let cols = shape[shape.len() - 1];
+    let rows = shape[shape.len() - 2];
+    let batch = shape[..shape.len() - 2].iter().product();
+    (batch, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_counts_elements() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[7]), 7);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[3, 0, 2]), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let shape = [2, 3, 4];
+        assert_eq!(offset(&shape, &[0, 0, 0]), 0);
+        assert_eq!(offset(&shape, &[0, 0, 3]), 3);
+        assert_eq!(offset(&shape, &[0, 1, 0]), 4);
+        assert_eq!(offset(&shape, &[1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn broadcast_same() {
+        assert_eq!(broadcast_kind(&[2, 3], &[2, 3]), Some(Broadcast::Same));
+    }
+
+    #[test]
+    fn broadcast_leading_matches_trailing_dims() {
+        assert_eq!(
+            broadcast_kind(&[8, 48, 64], &[48, 64]),
+            Some(Broadcast::Leading)
+        );
+    }
+
+    #[test]
+    fn broadcast_inner_is_bias_vector() {
+        assert_eq!(broadcast_kind(&[8, 48, 64], &[64]), Some(Broadcast::Inner));
+        assert_eq!(broadcast_kind(&[8, 64], &[64]), Some(Broadcast::Inner));
+    }
+
+    #[test]
+    fn broadcast_rejects_mismatch() {
+        assert_eq!(broadcast_kind(&[8, 48, 64], &[48]), None);
+        assert_eq!(broadcast_kind(&[8, 48, 64], &[8, 48]), None);
+        assert_eq!(broadcast_kind(&[4], &[4, 4]), None);
+    }
+
+    #[test]
+    fn batched_matrix_view() {
+        assert_eq!(as_batched_matrix(&[6, 4]), (1, 6, 4));
+        assert_eq!(as_batched_matrix(&[2, 3, 6, 4]), (6, 6, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape cannot change element count")]
+    fn reshape_check_rejects_bad_count() {
+        check_reshape(&[2, 3], &[7]);
+    }
+}

@@ -1,0 +1,890 @@
+//! Reverse-mode automatic differentiation on a tape.
+//!
+//! A [`Tape`] records every operation of one forward pass as a node in a
+//! flat arena; [`Var`] is a copyable handle (tape reference + node index).
+//! [`Tape::backward`] walks the arena in reverse, propagating gradients
+//! and depositing them into [`Param`]s. One tape lives for one training
+//! step and is dropped afterwards — there is no graph reuse, no aliasing,
+//! and therefore no cache-invalidation subtlety.
+//!
+//! The op set is exactly what the Network Traffic Transformer needs
+//! (linear algebra, attention plumbing, sequence slicing for the
+//! multi-timescale aggregator, fused layer-norm and MSE). Each op's
+//! backward rule is unit-tested against finite differences in
+//! [`crate::grad_check`].
+
+use crate::shape::{self, Broadcast};
+use crate::{kernels, Param, Tensor};
+use std::cell::{Ref, RefCell};
+
+/// Operation recorded on the tape. Indices refer to earlier nodes.
+enum Op {
+    /// Constant input — receives a gradient but propagates nowhere.
+    Leaf,
+    /// Trainable parameter — gradient is accumulated into the `Param`.
+    ParamLeaf(Param),
+    Add(usize, usize, Broadcast),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    /// Elementwise product with a constant tensor (dropout masks,
+    /// feature-ablation masks): gradient flows to the variable only.
+    MulConst(usize, Tensor),
+    Neg(usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    MatMul(usize, usize),
+    Relu(usize),
+    Gelu(usize),
+    Tanh(usize),
+    Softmax(usize),
+    LayerNorm {
+        x: usize,
+        gamma: usize,
+        beta: usize,
+        /// Normalized activations (pre gamma/beta), saved for backward.
+        xhat: Tensor,
+        /// Reciprocal standard deviation per row, saved for backward.
+        rstd: Vec<f32>,
+    },
+    Reshape(usize),
+    TransposeLast2(usize),
+    /// Swap axes 1 and 2 of a rank-4 value (attention head regrouping).
+    TransposeAxes12(usize),
+    /// Rows `[start, start+len)` along axis 1 of a rank-3 tensor.
+    SliceAxis1 { x: usize, start: usize },
+    /// Concatenate rank-3 tensors along axis 1.
+    ConcatAxis1(Vec<usize>),
+    /// Pick one slot along axis 1: `[B, T, D] -> [B, D]`.
+    SelectAxis1 { x: usize, idx: usize },
+    /// Mean over axis 1: `[B, T, D] -> [B, D]`.
+    MeanAxis1(usize),
+    /// Concatenate rank-2 tensors along the last axis.
+    ConcatLast(usize, usize),
+    MeanAll(usize),
+    /// Fused mean-squared-error against a constant target.
+    MseLoss { pred: usize, target: Tensor },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// Arena of recorded operations for one forward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+/// Handle to a value on a tape.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+/// Gradients of every tape node, produced by [`Tape::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of `v`'s node, if it participated in the loss.
+    pub fn get(&self, v: Var<'_>) -> Option<&Tensor> {
+        self.grads.get(v.id).and_then(|g| g.as_ref())
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+const GELU_A: f32 = 0.044_715;
+
+fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    let u = GELU_C * (x + GELU_A * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
+}
+
+fn softmax_last(x: &Tensor) -> Tensor {
+    let d = *x.shape().last().expect("softmax requires rank >= 1");
+    assert!(d > 0, "softmax over empty axis");
+    let mut out = x.clone();
+    for row in out.data_mut().chunks_mut(d) {
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - mx).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+impl Tape {
+    /// Fresh, empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes (diagnostic).
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, op: Op, value: Tensor) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { op, value });
+        Var {
+            tape: self,
+            id: nodes.len() - 1,
+        }
+    }
+
+    fn val(&self, id: usize) -> Ref<'_, Tensor> {
+        Ref::map(self.nodes.borrow(), |n| &n[id].value)
+    }
+
+    /// Record a constant input.
+    pub fn input(&self, value: Tensor) -> Var<'_> {
+        self.push(Op::Leaf, value)
+    }
+
+    /// Record a trainable parameter.
+    pub fn param(&self, p: &Param) -> Var<'_> {
+        self.push(Op::ParamLeaf(p.clone()), p.value())
+    }
+
+    /// Run reverse-mode differentiation from `loss` (any shape; the seed
+    /// gradient is all-ones) and deposit parameter gradients.
+    pub fn backward(&self, loss: Var<'_>) -> Gradients {
+        let nodes = self.nodes.borrow();
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.shape()));
+
+        for id in (0..=loss.id).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            self.step_backward(&nodes, &mut grads, id, &g);
+            grads[id] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn step_backward(&self, nodes: &[Node], grads: &mut [Option<Tensor>], id: usize, g: &Tensor) {
+        let add_grad = |grads: &mut [Option<Tensor>], to: usize, inc: Tensor| match &mut grads[to] {
+            Some(acc) => acc.add_assign(&inc),
+            slot @ None => *slot = Some(inc),
+        };
+        match &nodes[id].op {
+            Op::Leaf => {}
+            Op::ParamLeaf(p) => p.accumulate_grad(g),
+            Op::Add(a, b, bc) => {
+                add_grad(grads, *a, g.clone());
+                let gb = match bc {
+                    Broadcast::Same => g.clone(),
+                    Broadcast::Leading | Broadcast::Inner => {
+                        let bshape = nodes[*b].value.shape().to_vec();
+                        let bn = shape::numel(&bshape);
+                        let mut acc = vec![0.0f32; bn];
+                        for chunk in g.data().chunks(bn) {
+                            for (a, &x) in acc.iter_mut().zip(chunk.iter()) {
+                                *a += x;
+                            }
+                        }
+                        Tensor::from_vec(acc, &bshape)
+                    }
+                };
+                add_grad(grads, *b, gb);
+            }
+            Op::Sub(a, b) => {
+                add_grad(grads, *a, g.clone());
+                add_grad(grads, *b, g.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let (va, vb) = (nodes[*a].value.clone(), nodes[*b].value.clone());
+                add_grad(grads, *a, g.zip(&vb, |g, b| g * b));
+                add_grad(grads, *b, g.zip(&va, |g, a| g * a));
+            }
+            Op::MulConst(a, c) => add_grad(grads, *a, g.zip(c, |g, c| g * c)),
+            Op::Neg(a) => add_grad(grads, *a, g.map(|x| -x)),
+            Op::Scale(a, c) => {
+                let c = *c;
+                add_grad(grads, *a, g.map(|x| x * c));
+            }
+            Op::AddScalar(a) => add_grad(grads, *a, g.clone()),
+            Op::MatMul(a, b) => {
+                let va = &nodes[*a].value;
+                let vb = &nodes[*b].value;
+                let (batch, m, k) = shape::as_batched_matrix(va.shape());
+                let n = *vb.shape().last().unwrap();
+                // dA = G · Bᵀ ; dB = Aᵀ · G, per batch element.
+                let mut ga = vec![0.0f32; va.numel()];
+                let mut gb = vec![0.0f32; vb.numel()];
+                for bi in 0..batch {
+                    let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
+                    let asl = &va.data()[bi * m * k..(bi + 1) * m * k];
+                    let bsl = &vb.data()[bi * k * n..(bi + 1) * k * n];
+                    kernels::gemm_nt(gs, bsl, &mut ga[bi * m * k..(bi + 1) * m * k], m, n, k);
+                    kernels::gemm_tn(asl, gs, &mut gb[bi * k * n..(bi + 1) * k * n], k, m, n);
+                }
+                add_grad(grads, *a, Tensor::from_vec(ga, va.shape()));
+                add_grad(grads, *b, Tensor::from_vec(gb, vb.shape()));
+            }
+            Op::Relu(a) => {
+                let va = &nodes[*a].value;
+                add_grad(grads, *a, g.zip(va, |g, x| if x > 0.0 { g } else { 0.0 }));
+            }
+            Op::Gelu(a) => {
+                let va = &nodes[*a].value;
+                add_grad(grads, *a, g.zip(va, |g, x| g * gelu_bwd(x)));
+            }
+            Op::Tanh(a) => {
+                let y = &nodes[id].value;
+                add_grad(grads, *a, g.zip(y, |g, y| g * (1.0 - y * y)));
+            }
+            Op::Softmax(a) => {
+                let y = &nodes[id].value;
+                let d = *y.shape().last().unwrap();
+                let mut gx = vec![0.0f32; y.numel()];
+                for (row, (ys, gs)) in y.data().chunks(d).zip(g.data().chunks(d)).enumerate() {
+                    let dot: f32 = ys.iter().zip(gs.iter()).map(|(y, g)| y * g).sum();
+                    for j in 0..d {
+                        gx[row * d + j] = ys[j] * (gs[j] - dot);
+                    }
+                }
+                add_grad(grads, *a, Tensor::from_vec(gx, y.shape()));
+            }
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                rstd,
+            } => {
+                let d = *xhat.shape().last().unwrap();
+                let vgamma = &nodes[*gamma].value;
+                let mut gx = vec![0.0f32; xhat.numel()];
+                let mut ggamma = vec![0.0f32; d];
+                let mut gbeta = vec![0.0f32; d];
+                for (row, (xh, gs)) in xhat.data().chunks(d).zip(g.data().chunks(d)).enumerate() {
+                    let mut mean_gxh = 0.0f32;
+                    let mut mean_gxh_xh = 0.0f32;
+                    for j in 0..d {
+                        let gxh = gs[j] * vgamma.data()[j];
+                        mean_gxh += gxh;
+                        mean_gxh_xh += gxh * xh[j];
+                        ggamma[j] += gs[j] * xh[j];
+                        gbeta[j] += gs[j];
+                    }
+                    mean_gxh /= d as f32;
+                    mean_gxh_xh /= d as f32;
+                    for j in 0..d {
+                        let gxh = gs[j] * vgamma.data()[j];
+                        gx[row * d + j] = rstd[row] * (gxh - mean_gxh - xh[j] * mean_gxh_xh);
+                    }
+                }
+                add_grad(grads, *x, Tensor::from_vec(gx, xhat.shape()));
+                add_grad(grads, *gamma, Tensor::from_vec(ggamma, &[d]));
+                add_grad(grads, *beta, Tensor::from_vec(gbeta, &[d]));
+            }
+            Op::Reshape(a) => {
+                let ashape = nodes[*a].value.shape().to_vec();
+                add_grad(grads, *a, g.reshape(&ashape));
+            }
+            Op::TransposeLast2(a) => add_grad(grads, *a, g.transpose_last2()),
+            Op::TransposeAxes12(a) => add_grad(grads, *a, g.transpose_axes_1_2()),
+            Op::SliceAxis1 { x, start } => {
+                let xs = nodes[*x].value.shape().to_vec();
+                let (b, t, d) = (xs[0], xs[1], xs[2]);
+                let len = g.shape()[1];
+                let mut gx = vec![0.0f32; b * t * d];
+                for bi in 0..b {
+                    let dst = bi * t * d + start * d;
+                    let src = bi * len * d;
+                    gx[dst..dst + len * d].copy_from_slice(&g.data()[src..src + len * d]);
+                }
+                add_grad(grads, *x, Tensor::from_vec(gx, &xs));
+            }
+            Op::ConcatAxis1(parts) => {
+                let mut start = 0usize;
+                let out_t = nodes[id].value.shape()[1];
+                let (b, d) = (nodes[id].value.shape()[0], nodes[id].value.shape()[2]);
+                for &p in parts {
+                    let len = nodes[p].value.shape()[1];
+                    let mut gp = Vec::with_capacity(b * len * d);
+                    for bi in 0..b {
+                        let base = bi * out_t * d + start * d;
+                        gp.extend_from_slice(&g.data()[base..base + len * d]);
+                    }
+                    add_grad(grads, p, Tensor::from_vec(gp, &[b, len, d]));
+                    start += len;
+                }
+            }
+            Op::SelectAxis1 { x, idx } => {
+                let xs = nodes[*x].value.shape().to_vec();
+                let (b, t, d) = (xs[0], xs[1], xs[2]);
+                let mut gx = vec![0.0f32; b * t * d];
+                for bi in 0..b {
+                    let dst = bi * t * d + idx * d;
+                    gx[dst..dst + d].copy_from_slice(&g.data()[bi * d..(bi + 1) * d]);
+                }
+                add_grad(grads, *x, Tensor::from_vec(gx, &xs));
+            }
+            Op::MeanAxis1(a) => {
+                let xs = nodes[*a].value.shape().to_vec();
+                let (b, t, d) = (xs[0], xs[1], xs[2]);
+                let inv = 1.0 / t as f32;
+                let mut gx = vec![0.0f32; b * t * d];
+                for bi in 0..b {
+                    for ti in 0..t {
+                        for j in 0..d {
+                            gx[bi * t * d + ti * d + j] = g.data()[bi * d + j] * inv;
+                        }
+                    }
+                }
+                add_grad(grads, *a, Tensor::from_vec(gx, &xs));
+            }
+            Op::ConcatLast(a, b) => {
+                let da = *nodes[*a].value.shape().last().unwrap();
+                let db = *nodes[*b].value.shape().last().unwrap();
+                let rows = nodes[id].value.numel() / (da + db);
+                let mut ga = Vec::with_capacity(rows * da);
+                let mut gb = Vec::with_capacity(rows * db);
+                for r in 0..rows {
+                    let base = r * (da + db);
+                    ga.extend_from_slice(&g.data()[base..base + da]);
+                    gb.extend_from_slice(&g.data()[base + da..base + da + db]);
+                }
+                add_grad(grads, *a, Tensor::from_vec(ga, nodes[*a].value.shape()));
+                add_grad(grads, *b, Tensor::from_vec(gb, nodes[*b].value.shape()));
+            }
+            Op::MeanAll(a) => {
+                let va = &nodes[*a].value;
+                let c = g.item() / va.numel() as f32;
+                add_grad(grads, *a, Tensor::full(va.shape(), c));
+            }
+            Op::MseLoss { pred, target } => {
+                let vp = &nodes[*pred].value;
+                let c = 2.0 * g.item() / vp.numel() as f32;
+                add_grad(grads, *pred, vp.zip(target, |p, t| c * (p - t)));
+            }
+        }
+    }
+}
+
+impl<'t> Var<'t> {
+    /// Clone of this node's value.
+    pub fn value(&self) -> Tensor {
+        self.tape.val(self.id).clone()
+    }
+
+    /// Shape of this node's value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.tape.val(self.id).shape().to_vec()
+    }
+
+    /// Elementwise/broadcast addition (see [`shape::broadcast_kind`] for
+    /// the accepted broadcast forms of `rhs`).
+    pub fn add(self, rhs: Var<'t>) -> Var<'t> {
+        let (va, vb) = (self.value(), rhs.value());
+        let bc = shape::broadcast_kind(va.shape(), vb.shape())
+            .unwrap_or_else(|| panic!("add: incompatible {:?} + {:?}", va.shape(), vb.shape()));
+        let out = match bc {
+            Broadcast::Same => va.zip(&vb, |a, b| a + b),
+            Broadcast::Leading | Broadcast::Inner => {
+                let bn = vb.numel();
+                let mut out = va.clone();
+                for chunk in out.data_mut().chunks_mut(bn) {
+                    for (o, &b) in chunk.iter_mut().zip(vb.data().iter()) {
+                        *o += b;
+                    }
+                }
+                out
+            }
+        };
+        self.tape.push(Op::Add(self.id, rhs.id, bc), out)
+    }
+
+    /// Elementwise subtraction (identical shapes).
+    pub fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        let out = self.value().zip(&rhs.value(), |a, b| a - b);
+        self.tape.push(Op::Sub(self.id, rhs.id), out)
+    }
+
+    /// Elementwise product (identical shapes).
+    pub fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        let out = self.value().zip(&rhs.value(), |a, b| a * b);
+        self.tape.push(Op::Mul(self.id, rhs.id), out)
+    }
+
+    /// Elementwise product with a constant tensor (no gradient to it).
+    pub fn mul_const(self, mask: &Tensor) -> Var<'t> {
+        let out = self.value().zip(mask, |a, b| a * b);
+        self.tape.push(Op::MulConst(self.id, mask.clone()), out)
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Var<'t> {
+        let out = self.value().map(|x| -x);
+        self.tape.push(Op::Neg(self.id), out)
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(self, c: f32) -> Var<'t> {
+        let out = self.value().map(|x| x * c);
+        self.tape.push(Op::Scale(self.id, c), out)
+    }
+
+    /// Add a scalar constant.
+    pub fn add_scalar(self, c: f32) -> Var<'t> {
+        let out = self.value().map(|x| x + c);
+        self.tape.push(Op::AddScalar(self.id), out)
+    }
+
+    /// Matrix product. Operands are stacks of matrices: rank-2 tensors
+    /// multiply plainly; equal leading dimensions multiply batch-wise.
+    pub fn matmul(self, rhs: Var<'t>) -> Var<'t> {
+        let va = self.value();
+        let vb = rhs.value();
+        let (ba, m, k) = shape::as_batched_matrix(va.shape());
+        let (bb, k2, n) = shape::as_batched_matrix(vb.shape());
+        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", va.shape(), vb.shape());
+        assert_eq!(
+            ba, bb,
+            "matmul batch dims: {:?} x {:?}",
+            va.shape(),
+            vb.shape()
+        );
+        assert_eq!(
+            va.shape()[..va.rank() - 2],
+            vb.shape()[..vb.rank() - 2],
+            "matmul leading dims must match elementwise"
+        );
+        let mut out = vec![0.0f32; ba * m * n];
+        for bi in 0..ba {
+            kernels::gemm_nn(
+                &va.data()[bi * m * k..(bi + 1) * m * k],
+                &vb.data()[bi * k * n..(bi + 1) * k * n],
+                &mut out[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        let mut oshape = va.shape()[..va.rank() - 2].to_vec();
+        oshape.push(m);
+        oshape.push(n);
+        self.tape
+            .push(Op::MatMul(self.id, rhs.id), Tensor::from_vec(out, &oshape))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let out = self.value().map(|x| x.max(0.0));
+        self.tape.push(Op::Relu(self.id), out)
+    }
+
+    /// GELU activation (tanh approximation, as in BERT/ViT).
+    pub fn gelu(self) -> Var<'t> {
+        let out = self.value().map(gelu_fwd);
+        self.tape.push(Op::Gelu(self.id), out)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        let out = self.value().map(f32::tanh);
+        self.tape.push(Op::Tanh(self.id), out)
+    }
+
+    /// Softmax over the last axis (numerically stabilized).
+    pub fn softmax_last(self) -> Var<'t> {
+        let out = softmax_last(&self.value());
+        self.tape.push(Op::Softmax(self.id), out)
+    }
+
+    /// Fused layer normalization over the last axis with affine
+    /// parameters `gamma`, `beta` (both shape `[D]`).
+    pub fn layer_norm(self, gamma: Var<'t>, beta: Var<'t>, eps: f32) -> Var<'t> {
+        let x = self.value();
+        let d = *x.shape().last().expect("layer_norm requires rank >= 1");
+        let vg = gamma.value();
+        let vb = beta.value();
+        assert_eq!(vg.shape(), &[d], "gamma must be [D]");
+        assert_eq!(vb.shape(), &[d], "beta must be [D]");
+        let rows = x.numel() / d;
+        let mut xhat = vec![0.0f32; x.numel()];
+        let mut rstd = vec![0.0f32; rows];
+        let mut out = vec![0.0f32; x.numel()];
+        for (r, row) in x.data().chunks(d).enumerate() {
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let rs = 1.0 / (var + eps).sqrt();
+            rstd[r] = rs;
+            for j in 0..d {
+                let xh = (row[j] - mean) * rs;
+                xhat[r * d + j] = xh;
+                out[r * d + j] = xh * vg.data()[j] + vb.data()[j];
+            }
+        }
+        self.tape.push(
+            Op::LayerNorm {
+                x: self.id,
+                gamma: gamma.id,
+                beta: beta.id,
+                xhat: Tensor::from_vec(xhat, x.shape()),
+                rstd,
+            },
+            Tensor::from_vec(out, x.shape()),
+        )
+    }
+
+    /// Same data, new shape.
+    pub fn reshape(self, new_shape: &[usize]) -> Var<'t> {
+        let out = self.value().reshape(new_shape);
+        self.tape.push(Op::Reshape(self.id), out)
+    }
+
+    /// Swap the last two axes (batched matrix transpose).
+    pub fn transpose_last2(self) -> Var<'t> {
+        let out = self.value().transpose_last2();
+        self.tape.push(Op::TransposeLast2(self.id), out)
+    }
+
+    /// Swap axes 1 and 2 of a rank-4 value: `[A, B, C, D] -> [A, C, B, D]`.
+    pub fn transpose_axes_1_2(self) -> Var<'t> {
+        let out = self.value().transpose_axes_1_2();
+        self.tape.push(Op::TransposeAxes12(self.id), out)
+    }
+
+    /// Rows `[start, start+len)` along axis 1 of a rank-3 value.
+    pub fn slice_axis1(self, start: usize, len: usize) -> Var<'t> {
+        let out = self.value().slice_axis1(start, len);
+        self.tape
+            .push(Op::SliceAxis1 { x: self.id, start }, out)
+    }
+
+    /// Concatenate rank-3 values along axis 1.
+    pub fn concat_axis1(parts: &[Var<'t>]) -> Var<'t> {
+        assert!(!parts.is_empty(), "concat_axis1 of nothing");
+        let tape = parts[0].tape;
+        let vals: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let (b, d) = (vals[0].shape()[0], vals[0].shape()[2]);
+        let total_t: usize = vals.iter().map(|v| v.shape()[1]).sum();
+        for v in &vals {
+            assert_eq!(v.rank(), 3, "concat_axis1 requires rank 3");
+            assert_eq!(v.shape()[0], b, "batch dims must match");
+            assert_eq!(v.shape()[2], d, "feature dims must match");
+        }
+        let mut out = Vec::with_capacity(b * total_t * d);
+        for bi in 0..b {
+            for v in &vals {
+                let t = v.shape()[1];
+                out.extend_from_slice(&v.data()[bi * t * d..(bi + 1) * t * d]);
+            }
+        }
+        tape.push(
+            Op::ConcatAxis1(parts.iter().map(|p| p.id).collect()),
+            Tensor::from_vec(out, &[b, total_t, d]),
+        )
+    }
+
+    /// Select slot `idx` along axis 1: `[B, T, D] -> [B, D]`.
+    pub fn select_axis1(self, idx: usize) -> Var<'t> {
+        let x = self.value();
+        assert_eq!(x.rank(), 3, "select_axis1 requires rank 3");
+        let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert!(idx < t, "select_axis1 index out of range");
+        let mut out = Vec::with_capacity(b * d);
+        for bi in 0..b {
+            let base = bi * t * d + idx * d;
+            out.extend_from_slice(&x.data()[base..base + d]);
+        }
+        self.tape.push(
+            Op::SelectAxis1 { x: self.id, idx },
+            Tensor::from_vec(out, &[b, d]),
+        )
+    }
+
+    /// Mean over axis 1: `[B, T, D] -> [B, D]`.
+    pub fn mean_axis1(self) -> Var<'t> {
+        let x = self.value();
+        assert_eq!(x.rank(), 3, "mean_axis1 requires rank 3");
+        let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut out = vec![0.0f32; b * d];
+        for bi in 0..b {
+            for ti in 0..t {
+                for j in 0..d {
+                    out[bi * d + j] += x.data()[bi * t * d + ti * d + j];
+                }
+            }
+        }
+        let inv = 1.0 / t as f32;
+        out.iter_mut().for_each(|v| *v *= inv);
+        self.tape
+            .push(Op::MeanAxis1(self.id), Tensor::from_vec(out, &[b, d]))
+    }
+
+    /// Concatenate two rank-2 values along the last axis:
+    /// `[B, D1] ⊕ [B, D2] -> [B, D1 + D2]`.
+    pub fn concat_last(self, rhs: Var<'t>) -> Var<'t> {
+        let (va, vb) = (self.value(), rhs.value());
+        assert_eq!(va.rank(), 2, "concat_last requires rank 2");
+        assert_eq!(vb.rank(), 2, "concat_last requires rank 2");
+        assert_eq!(va.shape()[0], vb.shape()[0], "batch dims must match");
+        let (b, da, db) = (va.shape()[0], va.shape()[1], vb.shape()[1]);
+        let mut out = Vec::with_capacity(b * (da + db));
+        for bi in 0..b {
+            out.extend_from_slice(&va.data()[bi * da..(bi + 1) * da]);
+            out.extend_from_slice(&vb.data()[bi * db..(bi + 1) * db]);
+        }
+        self.tape.push(
+            Op::ConcatLast(self.id, rhs.id),
+            Tensor::from_vec(out, &[b, da + db]),
+        )
+    }
+
+    /// Mean over all elements, producing shape `[1]`.
+    pub fn mean_all(self) -> Var<'t> {
+        let out = Tensor::scalar(self.value().mean());
+        self.tape.push(Op::MeanAll(self.id), out)
+    }
+
+    /// Mean squared error against a constant target, producing shape `[1]`.
+    pub fn mse_loss(self, target: &Tensor) -> Var<'t> {
+        let p = self.value();
+        assert_eq!(p.shape(), target.shape(), "mse_loss shape mismatch");
+        let loss = p
+            .data()
+            .iter()
+            .zip(target.data().iter())
+            .map(|(p, t)| {
+                let d = (p - t) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / p.numel() as f64;
+        self.tape.push(
+            Op::MseLoss {
+                pred: self.id,
+                target: target.clone(),
+            },
+            Tensor::scalar(loss as f32),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_add_sub_mul() {
+        let t = Tape::new();
+        let a = t.input(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = t.input(Tensor::from_vec(vec![3.0, 5.0], &[2]));
+        assert_eq!(a.add(b).value().data(), &[4.0, 7.0]);
+        assert_eq!(a.sub(b).value().data(), &[-2.0, -3.0]);
+        assert_eq!(a.mul(b).value().data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn add_broadcasts_bias_and_leading() {
+        let t = Tape::new();
+        let x = t.input(Tensor::ones(&[2, 2, 3]));
+        let bias = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let y = x.add(bias);
+        assert_eq!(y.value().at(&[1, 1, 2]), 4.0);
+        let pe = t.input(Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]));
+        let z = x.add(pe);
+        assert_eq!(z.value().at(&[0, 1, 2]), 6.0);
+        assert_eq!(z.value().at(&[1, 1, 2]), 6.0);
+    }
+
+    #[test]
+    fn backward_through_chain() {
+        // loss = mean((a*b + a)^2) with a=[1,2], b=[3,4]
+        let t = Tape::new();
+        let pa = Param::new("a", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let pb = Param::new("b", Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let a = t.param(&pa);
+        let b = t.param(&pb);
+        let y = a.mul(b).add(a); // [4, 10]
+        let loss = y.mse_loss(&Tensor::zeros(&[2]));
+        assert!((loss.value().item() - (16.0 + 100.0) / 2.0).abs() < 1e-5);
+        t.backward(loss);
+        // dL/dy = y, dL/da = y*(b+1), dL/db = y*a
+        assert!(pa.grad().allclose(
+            &Tensor::from_vec(vec![4.0 * 4.0, 10.0 * 5.0], &[2]),
+            1e-4
+        ));
+        assert!(pb
+            .grad()
+            .allclose(&Tensor::from_vec(vec![4.0, 20.0], &[2]), 1e-4));
+    }
+
+    #[test]
+    fn matmul_forward_2d() {
+        let t = Tape::new();
+        let a = t.input(Tensor::arange(6).reshape(&[2, 3]));
+        let b = t.input(Tensor::arange(12).reshape(&[3, 4]));
+        let c = a.matmul(b);
+        assert_eq!(c.shape(), vec![2, 4]);
+        // row 0 of a = [0,1,2]; col 0 of b = [0,4,8] -> 0*0+1*4+2*8=20
+        assert_eq!(c.value().at(&[0, 0]), 20.0);
+    }
+
+    #[test]
+    fn matmul_forward_batched() {
+        let t = Tape::new();
+        let a = t.input(Tensor::ones(&[2, 3, 4]));
+        let b = t.input(Tensor::ones(&[2, 4, 5]));
+        let c = a.matmul(b);
+        assert_eq!(c.shape(), vec![2, 3, 5]);
+        assert!(c.value().data().iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_rejects_bad_inner() {
+        let t = Tape::new();
+        let a = t.input(Tensor::ones(&[2, 3]));
+        let b = t.input(Tensor::ones(&[4, 5]));
+        a.matmul(b);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tape::new();
+        let x = t.input(Tensor::randn(&[4, 7], 3));
+        let y = x.softmax_last().value();
+        for row in y.data().chunks(7) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tape::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let shifted = x.map(|v| v + 1000.0);
+        let y1 = t.input(x).softmax_last().value();
+        let y2 = t.input(shifted).softmax_last().value();
+        assert!(y1.allclose(&y2, 1e-5));
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let t = Tape::new();
+        let x = t.input(Tensor::randn(&[5, 16], 11));
+        let g = t.input(Tensor::ones(&[16]));
+        let b = t.input(Tensor::zeros(&[16]));
+        let y = x.layer_norm(g, b, 1e-5).value();
+        for row in y.data().chunks(16) {
+            let mean = row.iter().sum::<f32>() / 16.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn slice_concat_roundtrip_preserves_values_and_grads() {
+        let t = Tape::new();
+        let p = Param::new("x", Tensor::arange(24).reshape(&[2, 4, 3]));
+        let x = t.param(&p);
+        let a = x.slice_axis1(0, 1);
+        let b = x.slice_axis1(1, 3);
+        let y = Var::concat_axis1(&[a, b]);
+        assert_eq!(y.value(), x.value());
+        let loss = y.mse_loss(&Tensor::zeros(&[2, 4, 3]));
+        t.backward(loss);
+        // grad = 2x/N; every element must receive gradient exactly once.
+        let expect = p.value().map(|v| 2.0 * v / 24.0);
+        assert!(p.grad().allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn select_and_mean_axis1() {
+        let t = Tape::new();
+        let x = t.input(Tensor::arange(12).reshape(&[2, 3, 2]));
+        let s = x.select_axis1(2);
+        assert_eq!(s.value().data(), &[4.0, 5.0, 10.0, 11.0]);
+        let m = x.mean_axis1();
+        assert_eq!(m.value().data(), &[2.0, 3.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn concat_last_joins_features() {
+        let t = Tape::new();
+        let a = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = t.input(Tensor::from_vec(vec![9.0, 8.0], &[2, 1]));
+        let y = a.concat_last(b);
+        assert_eq!(y.shape(), vec![2, 3]);
+        assert_eq!(y.value().data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn mul_const_blocks_gradient_to_mask() {
+        let t = Tape::new();
+        let p = Param::new("x", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 2.0], &[3]);
+        let y = t.param(&p).mul_const(&mask);
+        assert_eq!(y.value().data(), &[1.0, 0.0, 6.0]);
+        let loss = y.mse_loss(&Tensor::zeros(&[3]));
+        t.backward(loss);
+        // dL/dx = 2/3 * y * mask
+        let expect = Tensor::from_vec(vec![2.0 / 3.0, 0.0, 8.0], &[3]);
+        assert!(p.grad().allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn gradient_accumulates_across_backwards() {
+        let p = Param::new("w", Tensor::from_vec(vec![2.0], &[1]));
+        for _ in 0..2 {
+            let t = Tape::new();
+            let w = t.param(&p);
+            let loss = w.mse_loss(&Tensor::zeros(&[1]));
+            t.backward(loss);
+        }
+        // each pass adds 2*w/1 = 4
+        assert!((p.grad().item() - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn diamond_graph_sums_gradients() {
+        // y = a + a -> dy/da = 2
+        let t = Tape::new();
+        let p = Param::new("a", Tensor::from_vec(vec![3.0], &[1]));
+        let a = t.param(&p);
+        let y = a.add(a);
+        let loss = y.mean_all();
+        t.backward(loss);
+        assert!((p.grad().item() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_struct_exposes_intermediates() {
+        let t = Tape::new();
+        let a = t.input(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = a.scale(3.0);
+        let loss = y.mean_all();
+        let grads = t.backward(loss);
+        let ga = grads.get(a).expect("input gradient");
+        assert!(ga.allclose(&Tensor::from_vec(vec![1.5, 1.5], &[2]), 1e-6));
+        // Nodes after the loss (none here) or disconnected nodes have no grad.
+        let unused = t.input(Tensor::ones(&[1]));
+        assert!(grads.get(unused).is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! Task transfer (§4, second task): reuse a delay-pre-trained NTT trunk
+//! to predict **message completion times** — a flow-level quantity the
+//! model never saw during pre-training — and compare against the
+//! paper's naive baselines (last-observed and EWMA).
+//!
+//! Run: `cargo run --release --example mct_prediction`
+
+use ntt::core::baselines::{mct_ewma_mse, mct_last_observed_mse, EWMA_ALPHA};
+use ntt::core::{
+    eval_mct, train_delay, train_mct, Aggregation, DelayHead, MctHead, Ntt, NttConfig,
+    TrainConfig, TrainMode,
+};
+use ntt::data::{DatasetConfig, DelayDataset, MctDataset, TraceData};
+use ntt::sim::scenarios::{run_many, Scenario, ScenarioConfig};
+use std::sync::Arc;
+
+fn main() {
+    let model_cfg = NttConfig {
+        aggregation: Aggregation::MultiScale { block: 2 },
+        d_model: 32,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 64,
+        ..NttConfig::default()
+    };
+    let ds_cfg = DatasetConfig {
+        seq_len: model_cfg.seq_len(),
+        stride: 8,
+        test_fraction: 0.2,
+    };
+    let train_cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        lr: 2e-3,
+        max_steps_per_epoch: Some(30),
+        ..TrainConfig::default()
+    };
+
+    // Pre-train the trunk on delay prediction.
+    let traces = run_many(Scenario::Case1, &ScenarioConfig::tiny(5), 2);
+    let data = TraceData::from_traces(&traces);
+    let (d_train, _) = DelayDataset::build(Arc::clone(&data), ds_cfg, None);
+    let model = Ntt::new(model_cfg);
+    let delay_head = DelayHead::new(model_cfg.d_model, 0);
+    train_delay(&model, &delay_head, &d_train, &train_cfg, TrainMode::Full);
+    println!("trunk pre-trained on masked delay prediction ({} windows)", d_train.len());
+
+    // Swap the decoder: an MCT head taking (encoded sequence, message size).
+    let (m_train, m_test) = MctDataset::build(data, ds_cfg, d_train.norm.clone());
+    println!(
+        "MCT dataset: {} train / {} test anchored messages",
+        m_train.len(),
+        m_test.len()
+    );
+    let mct_head = MctHead::new(model_cfg.d_model, 3);
+    train_mct(&model, &mct_head, &m_train, &train_cfg, TrainMode::DecoderOnly);
+    let ev = eval_mct(&model, &mct_head, &m_test, 64);
+
+    let lo = mct_last_observed_mse(&m_test);
+    let ew = mct_ewma_mse(&m_test, EWMA_ALPHA);
+    println!("\n=== MCT prediction, MSE on ln(seconds) scale ===");
+    println!("NTT (delay-pre-trained trunk + new head): {:.4}", ev.mse_raw);
+    println!("last-observed baseline                  : {lo:.4}");
+    println!("EWMA baseline (a={EWMA_ALPHA})             : {ew:.4}");
+    println!(
+        "\nflow-level structure {} packet-level history (paper: NTT 65 vs baselines 2189/1147, x1e-3)",
+        if ev.mse_raw < lo && ev.mse_raw < ew { "captured from" } else { "not yet captured from (tiny scale)" }
+    );
+}

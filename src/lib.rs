@@ -1,0 +1,31 @@
+//! # ntt — Network Traffic Transformer
+//!
+//! Facade crate for the Rust reproduction of *"A New Hope for Network
+//! Model Generalization"* (HotNets '22): re-exports every workspace
+//! crate under one roof so examples, tests, and downstream users need a
+//! single dependency.
+//!
+//! * [`tensor`] — dense f32 tensors + tape autodiff (PyTorch substitute)
+//! * [`nn`] — layers, attention, transformer encoder, optimizers
+//! * [`sim`] — deterministic packet-level network simulator (ns-3 substitute)
+//! * [`data`] — traces → training windows (features, splits, normalization)
+//! * [`core`] — the NTT model, trainer, baselines, checkpoints, federated averaging
+//!
+//! ```
+//! use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
+//! use ntt::data::{DatasetConfig, DelayDataset, TraceData};
+//!
+//! // Simulate the paper's Fig. 4 setup (miniaturized) and build the
+//! // pre-training task in four lines.
+//! let trace = run(Scenario::Pretrain, &ScenarioConfig::tiny(0));
+//! let data = TraceData::from_traces(&[trace]);
+//! let cfg = DatasetConfig { seq_len: 64, stride: 16, test_fraction: 0.2 };
+//! let (train, _test) = DelayDataset::build(data, cfg, None);
+//! assert!(train.len() > 0);
+//! ```
+
+pub use ntt_core as core;
+pub use ntt_data as data;
+pub use ntt_nn as nn;
+pub use ntt_sim as sim;
+pub use ntt_tensor as tensor;

@@ -1,0 +1,77 @@
+//! The Fig. 1 sharing story: a pre-trained model survives a checkpoint
+//! round-trip bit-for-bit and behaves identically afterwards — the
+//! prerequisite for "share pre-trained models instead of data".
+
+use ntt::core::{
+    checkpoint, eval_delay, train_delay, Aggregation, DelayHead, Ntt, NttConfig, TrainConfig,
+    TrainMode,
+};
+use ntt::data::{DatasetConfig, DelayDataset, TraceData};
+use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
+
+fn cfg() -> NttConfig {
+    NttConfig {
+        aggregation: Aggregation::MultiScale { block: 1 },
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        seed: 31,
+        ..NttConfig::default()
+    }
+}
+
+#[test]
+fn shared_checkpoint_reproduces_evaluation_exactly() {
+    let traces = vec![run(Scenario::Pretrain, &ScenarioConfig::tiny(55))];
+    let (train, test) = DelayDataset::build(
+        TraceData::from_traces(&traces),
+        DatasetConfig {
+            seq_len: 64,
+            stride: 8,
+            test_fraction: 0.2,
+        },
+        None,
+    );
+    let model = Ntt::new(cfg());
+    let head = DelayHead::new(16, 31);
+    train_delay(
+        &model,
+        &head,
+        &train,
+        &TrainConfig {
+            epochs: 1,
+            batch_size: 16,
+            max_steps_per_epoch: Some(10),
+            ..TrainConfig::default()
+        },
+        TrainMode::Full,
+    );
+    let before = eval_delay(&model, &head, &test, 32);
+
+    let path = std::env::temp_dir().join(format!("ntt_share_{}.ckpt", std::process::id()));
+    checkpoint::save(&path, &[&model, &head]).unwrap();
+
+    // "Download" into a freshly initialized model at another site.
+    let downloaded = Ntt::new(NttConfig { seed: 99, ..cfg() });
+    let downloaded_head = DelayHead::new(16, 99);
+    checkpoint::load(&path, &[&downloaded, &downloaded_head]).unwrap();
+    let after = eval_delay(&downloaded, &downloaded_head, &test, 32);
+    assert_eq!(before.mse_norm, after.mse_norm, "bit-exact behaviour");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn checkpoint_rejects_architecture_mismatch() {
+    let model = Ntt::new(cfg());
+    let path = std::env::temp_dir().join(format!("ntt_arch_{}.ckpt", std::process::id()));
+    checkpoint::save(&path, &[&model]).unwrap();
+    // A different width cannot absorb the checkpoint.
+    let wrong = Ntt::new(NttConfig {
+        d_model: 32,
+        d_ff: 64,
+        ..cfg()
+    });
+    assert!(checkpoint::load(&path, &[&wrong]).is_err());
+    std::fs::remove_file(path).ok();
+}
