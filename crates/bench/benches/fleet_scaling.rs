@@ -1,0 +1,57 @@
+//! Fleet executor scaling: the same 8-shard sweep on 1 worker vs all
+//! cores. The ratio is the dataset-generation speedup the fleet buys —
+//! the "collecting data is expensive" economics of §1 attacked with
+//! parallelism instead of smaller datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ntt_fleet::{run_fleet_traces, FleetConfig, SweepSpec};
+use ntt_sim::scenarios::{Scenario, ScenarioConfig};
+use ntt_sim::SimTime;
+
+fn sweep() -> SweepSpec {
+    let mut base = ScenarioConfig::tiny(7);
+    base.duration = SimTime::from_millis(500);
+    base.drain = SimTime::from_millis(200);
+    SweepSpec::new(base)
+        .scenarios(vec![
+            Scenario::Pretrain,
+            Scenario::Case1,
+            Scenario::ParkingLot { hops: 4 },
+            Scenario::LeafSpine {
+                leaves: 4,
+                spines: 2,
+            },
+        ])
+        .load_factors(vec![0.7, 1.0])
+        .runs_per_cell(1)
+}
+
+fn fleet_scaling(c: &mut Criterion) {
+    let spec = sweep();
+    // Count events once so throughput is comparable across thread counts.
+    let (_, probe) = run_fleet_traces(&spec, &FleetConfig::with_threads(1));
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(5);
+    group.throughput(Throughput::Elements(probe.total_events()));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for threads in [1usize, 2, cores.max(4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    criterion::black_box(run_fleet_traces(
+                        &spec,
+                        &FleetConfig::with_threads(threads),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_scaling);
+criterion_main!(benches);

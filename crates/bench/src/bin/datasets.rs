@@ -53,8 +53,15 @@ fn main() {
     let mut table = Table::new(
         "Fig. 4 datasets (paper pre-training: ~1.2M packets; MCT mean 0.2s, p99.9 23s)",
         &[
-            "Dataset", "packets", "messages", "drops", "delay mean", "delay p50", "delay p99",
-            "MCT mean", "MCT p99.9",
+            "Dataset",
+            "packets",
+            "messages",
+            "drops",
+            "delay mean",
+            "delay p50",
+            "delay p99",
+            "MCT mean",
+            "MCT p99.9",
         ],
     );
 
@@ -87,5 +94,8 @@ fn main() {
         Ok(p) => eprintln!("[datasets] wrote {}", p.display()),
         Err(e) => eprintln!("[datasets] tsv write failed: {e}"),
     }
-    eprintln!("[datasets] done in {}", fmt_duration(t0.elapsed().as_secs_f64()));
+    eprintln!(
+        "[datasets] done in {}",
+        fmt_duration(t0.elapsed().as_secs_f64())
+    );
 }

@@ -19,9 +19,7 @@ use ntt_bench::runner::{delay_sets, mct_sets, pretrain_variant, Env};
 use ntt_core::baselines::{
     delay_ewma_mse, delay_last_observed_mse, mct_ewma_mse, mct_last_observed_mse, EWMA_ALPHA,
 };
-use ntt_core::{
-    eval_delay, eval_mct, train_delay, train_mct, DelayHead, MctHead, Ntt, TrainMode,
-};
+use ntt_core::{eval_delay, eval_mct, train_delay, train_mct, DelayHead, MctHead, Ntt, TrainMode};
 use ntt_data::FeatureMask;
 use ntt_sim::Scenario;
 use std::time::Instant;
@@ -94,17 +92,32 @@ fn main() {
         let (ft_train_full, ft_test) = delay_sets(&env, &ft_traces, seq, None);
         let ft_train = ft_train_full.subsample(TEN_PERCENT, env.seed);
         let (ft_train, ft_test) = (ft_train.with_mask(*mask), ft_test.with_mask(*mask));
-        train_delay(&v.model, &v.head, &ft_train, &env.finetune_cfg(), TrainMode::DecoderOnly);
+        train_delay(
+            &v.model,
+            &v.head,
+            &ft_train,
+            &env.finetune_cfg(),
+            TrainMode::DecoderOnly,
+        );
         let ft_eval = eval_delay(&v.model, &v.head, &ft_test, 64);
         let ft_nmse = ft_eval.mse_raw / ft_test.target_variance();
         eprintln!("[ft-delay:{label}] test MSE {:.3}e-3", ft_nmse * 1e3);
 
         // Fine-tune a fresh MCT decoder on the 10% case-1 MCT dataset.
-        let (mct_train_full, mct_test) = mct_sets(&env, &ft_traces, seq, ft_train_full.norm.clone());
-        let mct_train = mct_train_full.subsample(TEN_PERCENT, env.seed).with_mask(*mask);
+        let (mct_train_full, mct_test) =
+            mct_sets(&env, &ft_traces, seq, ft_train_full.norm.clone());
+        let mct_train = mct_train_full
+            .subsample(TEN_PERCENT, env.seed)
+            .with_mask(*mask);
         let mct_test = mct_test.with_mask(*mask);
         let mct_head = MctHead::new(v.model.cfg.d_model, env.seed);
-        train_mct(&v.model, &mct_head, &mct_train, &env.finetune_cfg(), TrainMode::DecoderOnly);
+        train_mct(
+            &v.model,
+            &mct_head,
+            &mct_train,
+            &env.finetune_cfg(),
+            TrainMode::DecoderOnly,
+        );
         let mct_eval = eval_mct(&v.model, &mct_head, &mct_test, 64);
         let mct_nmse = mct_eval.mse_raw / mct_test.target_log_variance();
         eprintln!("[ft-mct:{label}] test MSE {:.3}e-3", mct_nmse * 1e3);
@@ -124,22 +137,40 @@ fn main() {
         // unablated architecture).
         if *label == "Pre-trained" {
             let cfg = env.model_cfg(*agg, *mask);
-            let scratch = Ntt::new(ntt_core::NttConfig { seed: cfg.seed ^ 0xff, ..cfg });
+            let scratch = Ntt::new(ntt_core::NttConfig {
+                seed: cfg.seed ^ 0xff,
+                ..cfg
+            });
             let scratch_head = DelayHead::new(cfg.d_model, env.seed ^ 0xff);
             // From scratch fits its own normalization (it never saw the
             // pre-training data).
             let (s_train_full, s_test) = delay_sets(&env, &ft_traces, seq, None);
             let s_train = s_train_full.subsample(TEN_PERCENT, env.seed);
-            train_delay(&scratch, &scratch_head, &s_train, &env.finetune_cfg(), TrainMode::Full);
+            train_delay(
+                &scratch,
+                &scratch_head,
+                &s_train,
+                &env.finetune_cfg(),
+                TrainMode::Full,
+            );
             let s_eval = eval_delay(&scratch, &scratch_head, &s_test, 64);
             let s_nmse = s_eval.mse_raw / s_test.target_variance();
             eprintln!("[scratch-delay] test MSE {:.3}e-3", s_nmse * 1e3);
 
-            let scratch2 = Ntt::new(ntt_core::NttConfig { seed: cfg.seed ^ 0xfe, ..cfg });
+            let scratch2 = Ntt::new(ntt_core::NttConfig {
+                seed: cfg.seed ^ 0xfe,
+                ..cfg
+            });
             let (m_train_full, m_test) = mct_sets(&env, &ft_traces, seq, s_train.norm.clone());
             let m_train = m_train_full.subsample(TEN_PERCENT, env.seed);
             let m_head = MctHead::new(cfg.d_model, env.seed ^ 0xfe);
-            train_mct(&scratch2, &m_head, &m_train, &env.finetune_cfg(), TrainMode::Full);
+            train_mct(
+                &scratch2,
+                &m_head,
+                &m_train,
+                &env.finetune_cfg(),
+                TrainMode::Full,
+            );
             let m_eval = eval_mct(&scratch2, &m_head, &m_test, 64);
             let m_nmse = m_eval.mse_raw / m_test.target_log_variance();
             eprintln!("[scratch-mct] test MSE {:.3}e-3", m_nmse * 1e3);

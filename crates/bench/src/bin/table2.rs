@@ -45,7 +45,13 @@ fn main() {
         (&ft_train_small, "Fine-tuning (10%)", 0.037, "3h45"),
     ] {
         let head = DelayHead::new(v.model.cfg.d_model, env.seed ^ 0x7a);
-        let rep = train_delay(&v.model, &head, ds, &env.finetune_cfg(), TrainMode::DecoderOnly);
+        let rep = train_delay(
+            &v.model,
+            &head,
+            ds,
+            &env.finetune_cfg(),
+            TrainMode::DecoderOnly,
+        );
         let ev = eval_delay(&v.model, &head, &ft_test, 64);
         table.row(&[
             format!("Pre-trained + {frac_label}"),
@@ -71,7 +77,10 @@ fn main() {
         (&s_train_small, "Fine-tuning (10%)", 0.118, "8h40"),
     ] {
         let cfg = env.model_cfg(agg, FeatureMask::all());
-        let scratch = Ntt::new(NttConfig { seed: cfg.seed ^ 0xff, ..cfg });
+        let scratch = Ntt::new(NttConfig {
+            seed: cfg.seed ^ 0xff,
+            ..cfg
+        });
         let head = DelayHead::new(cfg.d_model, env.seed ^ 0xff);
         let rep = train_delay(&scratch, &head, ds, &env.finetune_cfg(), TrainMode::Full);
         let ev = eval_delay(&scratch, &head, &s_test, 64);
@@ -94,5 +103,8 @@ fn main() {
         Ok(p) => eprintln!("[table2] wrote {}", p.display()),
         Err(e) => eprintln!("[table2] tsv write failed: {e}"),
     }
-    eprintln!("[table2] done in {}", fmt_duration(t0.elapsed().as_secs_f64()));
+    eprintln!(
+        "[table2] done in {}",
+        fmt_duration(t0.elapsed().as_secs_f64())
+    );
 }

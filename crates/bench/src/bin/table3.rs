@@ -71,7 +71,10 @@ fn main() {
         (&s_train_small, "From scratch + 10% data", 8.2, "11h"),
     ] {
         let cfg = env.model_cfg(agg, FeatureMask::all());
-        let scratch = Ntt::new(NttConfig { seed: cfg.seed ^ 0xff, ..cfg });
+        let scratch = Ntt::new(NttConfig {
+            seed: cfg.seed ^ 0xff,
+            ..cfg
+        });
         let head = DelayHead::new(cfg.d_model, env.seed ^ 0xff);
         let rep = train_delay(&scratch, &head, ds, &env.finetune_cfg(), TrainMode::Full);
         let ev = eval_delay(&scratch, &head, &s_test, 64);
@@ -109,7 +112,13 @@ fn main() {
         let (na_train_full, na_test) = delay_sets(&env, &ft_traces, seq, None);
         let na_train = na_train_full.subsample(0.10, env.seed).with_mask(mask);
         let na_test = na_test.with_mask(mask);
-        let rep = train_delay(&v2.model, &v2.head, &na_train, &env.finetune_cfg(), TrainMode::Full);
+        let rep = train_delay(
+            &v2.model,
+            &v2.head,
+            &na_train,
+            &env.finetune_cfg(),
+            TrainMode::Full,
+        );
         let ev = eval_delay(&v2.model, &v2.head, &na_test, 64);
         table.row(&[
             "Pre-trained, no addressing + 10%".into(),
@@ -125,5 +134,8 @@ fn main() {
         Ok(p) => eprintln!("[table3] wrote {}", p.display()),
         Err(e) => eprintln!("[table3] tsv write failed: {e}"),
     }
-    eprintln!("[table3] done in {}", fmt_duration(t0.elapsed().as_secs_f64()));
+    eprintln!(
+        "[table3] done in {}",
+        fmt_duration(t0.elapsed().as_secs_f64())
+    );
 }

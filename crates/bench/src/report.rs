@@ -100,7 +100,11 @@ pub fn fmt_e3(v: f64) -> String {
 /// time column.
 pub fn fmt_duration(secs: f64) -> String {
     if secs >= 3600.0 {
-        format!("{}h{:02}", (secs / 3600.0) as u64, ((secs % 3600.0) / 60.0) as u64)
+        format!(
+            "{}h{:02}",
+            (secs / 3600.0) as u64,
+            ((secs % 3600.0) / 60.0) as u64
+        )
     } else if secs >= 60.0 {
         format!("{}m{:02}", (secs / 60.0) as u64, (secs % 60.0) as u64)
     } else {
@@ -121,7 +125,11 @@ mod tests {
         assert!(s.contains("== T =="));
         let lines: Vec<&str> = s.lines().collect();
         // Header and rows start the second column at the same offset.
-        let col = |l: &str| l.find("mse").or_else(|| l.find("1.0")).or_else(|| l.find("22.5"));
+        let col = |l: &str| {
+            l.find("mse")
+                .or_else(|| l.find("1.0"))
+                .or_else(|| l.find("22.5"))
+        };
         assert_eq!(col(lines[1]), col(lines[3]));
     }
 

@@ -17,8 +17,9 @@ use ntt_core::{
     TrainMode, TrainReport,
 };
 use ntt_data::{DatasetConfig, DelayDataset, FeatureMask, MctDataset, Normalizer, TraceData};
+use ntt_fleet::{run_fleet_traces, FleetConfig, SweepSpec};
 use ntt_nn::Module;
-use ntt_sim::scenarios::{run_many, Scenario, ScenarioConfig};
+use ntt_sim::scenarios::{Scenario, ScenarioConfig};
 use ntt_sim::{RunTrace, SimTime};
 
 /// Experiment scale.
@@ -33,17 +34,25 @@ pub enum Scale {
 pub struct Env {
     pub scale: Scale,
     pub seed: u64,
+    /// Simulation worker threads for dataset generation (0 = one per
+    /// core); training itself stays single-threaded per model.
+    pub threads: usize,
 }
 
 impl Env {
-    /// Parse `--scale quick|paper` and `--seed N` from argv (also
-    /// honors `NTT_SCALE`). Unknown flags abort with usage help.
+    /// Parse `--scale quick|paper`, `--seed N`, and `--threads N` from
+    /// argv (also honors `NTT_SCALE`/`NTT_THREADS`). Unknown flags
+    /// abort with usage help.
     pub fn from_args() -> Env {
         let mut scale = match std::env::var("NTT_SCALE").as_deref() {
             Ok("paper") => Scale::Paper,
             _ => Scale::Quick,
         };
         let mut seed = 0u64;
+        let mut threads = std::env::var("NTT_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0usize);
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -61,22 +70,32 @@ impl Env {
                 }
                 "--seed" => {
                     i += 1;
-                    seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--seed needs an integer");
-                            std::process::exit(2);
-                        });
+                    seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+                }
+                "--threads" => {
+                    i += 1;
+                    threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads needs an integer (0 = auto)");
+                        std::process::exit(2);
+                    });
                 }
                 other => {
-                    eprintln!("unknown argument {other:?} (supported: --scale quick|paper, --seed N)");
+                    eprintln!(
+                        "unknown argument {other:?} (supported: --scale quick|paper, --seed N, --threads N)"
+                    );
                     std::process::exit(2);
                 }
             }
             i += 1;
         }
-        Env { scale, seed }
+        Env {
+            scale,
+            seed,
+            threads,
+        }
     }
 
     /// Simulation setup (paper topology at both scales; only duration
@@ -198,14 +217,15 @@ impl Env {
         }
     }
 
-    /// Generate the traces for one Fig. 4 scenario.
+    /// Generate the traces for one Fig. 4 scenario through the fleet
+    /// executor (sequential seed schedule, so traces are bit-identical
+    /// to the legacy serial `run_many` at any thread count).
     pub fn traces(&self, scenario: Scenario) -> Vec<RunTrace> {
         let label = format!("{scenario:?}");
-        eprintln!("[sim] generating {} x {:?} runs...", self.n_runs(), label);
-        let traces = run_many(scenario, &self.scenario_cfg(), self.n_runs());
-        let pkts: usize = traces.iter().map(|t| t.packets.len()).sum();
-        let msgs: usize = traces.iter().map(|t| t.messages.len()).sum();
-        eprintln!("[sim] {label}: {pkts} packets, {msgs} messages");
+        eprintln!("[fleet] generating {} x {label} runs...", self.n_runs());
+        let spec = SweepSpec::single(scenario, self.scenario_cfg(), self.n_runs());
+        let (traces, report) = run_fleet_traces(&spec, &FleetConfig::with_threads(self.threads));
+        eprintln!("[fleet] {label}: {}", report.summary());
         traces
     }
 }
@@ -297,6 +317,7 @@ mod tests {
         Env {
             scale: Scale::Quick,
             seed: 0,
+            threads: 0,
         }
     }
 
@@ -311,6 +332,7 @@ mod tests {
         let p = Env {
             scale: Scale::Paper,
             seed: 0,
+            threads: 0,
         };
         assert_eq!(p.agg_multiscale().seq_len(), 1024);
         assert_eq!(p.agg_fixed().seq_len(), 1008);

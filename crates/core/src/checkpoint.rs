@@ -80,8 +80,8 @@ pub fn read_all(path: impl AsRef<Path>) -> io::Result<HashMap<String, Tensor>> {
         let name_len = u16::from_le_bytes(read_exact::<2>(&mut r)?) as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let name =
+            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let rank = read_exact::<1>(&mut r)?[0] as usize;
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
@@ -196,7 +196,11 @@ mod tests {
             }
         }
         let path = tmp("missing");
-        save(&path, &[&M(Param::new("a", ntt_tensor::Tensor::zeros(&[1])))]).unwrap();
+        save(
+            &path,
+            &[&M(Param::new("a", ntt_tensor::Tensor::zeros(&[1])))],
+        )
+        .unwrap();
         let other = M(Param::new("b", ntt_tensor::Tensor::zeros(&[1])));
         let err = load(&path, &[&other]).unwrap_err();
         assert!(err.to_string().contains("missing parameter"));

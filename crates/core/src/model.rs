@@ -80,7 +80,7 @@ impl Ntt {
                 let agg2 = self.agg2.as_ref().expect("level-2 agg layer");
                 let old_len = 2 * ZONE_SLOTS * block; // oldest zone, aggregated twice
                 let mid_len = ZONE_SLOTS * block; // middle zone, aggregated once
-                // Oldest packets first in the window (time-ordered).
+                                                  // Oldest packets first in the window (time-ordered).
                 let old = e.slice_axis1(0, old_len);
                 let mid = e.slice_axis1(old_len, mid_len);
                 let raw = e.slice_axis1(old_len + mid_len, ZONE_SLOTS);

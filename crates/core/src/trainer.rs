@@ -89,7 +89,13 @@ fn steps_of(n_samples: usize, cfg: &TrainConfig) -> usize {
         .map_or(per_epoch, |cap| per_epoch.min(cap))
 }
 
-fn optimizer_for(ntt: &Ntt, head_params: Vec<ntt_tensor::Param>, cfg: &TrainConfig, total_steps: usize, mode: TrainMode) -> (Adam, usize) {
+fn optimizer_for(
+    ntt: &Ntt,
+    head_params: Vec<ntt_tensor::Param>,
+    cfg: &TrainConfig,
+    total_steps: usize,
+    mode: TrainMode,
+) -> (Adam, usize) {
     ntt.set_trainable(mode == TrainMode::Full);
     let mut params = ntt.params();
     params.extend(head_params);
@@ -126,9 +132,13 @@ pub fn train_delay(
     for epoch in 0..cfg.epochs {
         let mut sum = 0.0f64;
         let mut count = 0usize;
-        for batch in
-            BatchIter::new(ds.len(), cfg.batch_size, cfg.seed ^ (epoch as u64) << 17, true)
-                .take(steps_per_epoch)
+        for batch in BatchIter::new(
+            ds.len(),
+            cfg.batch_size,
+            cfg.seed ^ (epoch as u64) << 17,
+            true,
+        )
+        .take(steps_per_epoch)
         {
             let (x, y) = ds.batch(&batch);
             let tape = Tape::new();
@@ -198,9 +208,13 @@ pub fn train_mct(
     for epoch in 0..cfg.epochs {
         let mut sum = 0.0f64;
         let mut count = 0usize;
-        for batch in
-            BatchIter::new(ds.len(), cfg.batch_size, cfg.seed ^ (epoch as u64) << 17, true)
-                .take(steps_per_epoch)
+        for batch in BatchIter::new(
+            ds.len(),
+            cfg.batch_size,
+            cfg.seed ^ (epoch as u64) << 17,
+            true,
+        )
+        .take(steps_per_epoch)
         {
             let (x, sizes, y) = ds.batch(&batch);
             let tape = Tape::new();
@@ -326,7 +340,10 @@ mod tests {
         for (p, before) in ntt.params().iter().zip(trunk_before) {
             assert_eq!(p.value(), before, "trunk param {} moved", p.name());
         }
-        assert!(ntt.params().iter().all(|p| p.is_trainable()), "unfrozen after");
+        assert!(
+            ntt.params().iter().all(|p| p.is_trainable()),
+            "unfrozen after"
+        );
     }
 
     #[test]
@@ -357,8 +374,8 @@ mod tests {
         let (ntt, head, _) = tiny_model();
         let (train, _, _) = tiny_datasets();
         let empty = train.subsample(0.0, 0); // rounds up to 1... so force:
-        // subsample(0.0) keeps at least one sample by design; build a
-        // genuinely empty dataset via an impossible window length.
+                                             // subsample(0.0) keeps at least one sample by design; build a
+                                             // genuinely empty dataset via an impossible window length.
         drop(empty);
         let traces = vec![run(Scenario::Pretrain, &ScenarioConfig::tiny(32))];
         let data = TraceData::from_traces(&traces);

@@ -59,43 +59,53 @@ pub struct TraceData {
     pub runs: Vec<RunData>,
 }
 
+impl RunData {
+    /// Preprocess one simulator trace. This is the streaming-ingestion
+    /// unit: `ntt-fleet` folds each finished shard through this and
+    /// drops the raw trace immediately, so peak memory scales with the
+    /// compact [`RunData`] form rather than every raw [`RunTrace`].
+    pub fn from_trace(tr: &RunTrace) -> RunData {
+        let pkts: Vec<PacketView> = tr
+            .packets
+            .iter()
+            .map(|p| PacketView {
+                t: p.recv_ns as f64 / 1e9,
+                size: p.size_bytes as f32,
+                receiver: p.receiver_group as f32,
+                delay: (p.delay_ns as f64 / 1e9) as f32,
+            })
+            .collect();
+        // First-arrival index per (flow, msg) for MCT anchoring.
+        let mut first: HashMap<(usize, u64), usize> = HashMap::new();
+        for (i, p) in tr.packets.iter().enumerate() {
+            first.entry((p.flow, p.msg_id)).or_insert(i);
+        }
+        let anchors = tr
+            .messages
+            .iter()
+            .filter_map(|m| {
+                let a = *first.get(&(m.flow, m.msg_id))?;
+                let mct = m.mct_ns() as f64 / 1e9;
+                (mct > 0.0).then_some(MsgAnchor {
+                    anchor: a,
+                    mct_secs: mct,
+                    msg_size: m.size_bytes,
+                })
+            })
+            .collect();
+        RunData { pkts, anchors }
+    }
+}
+
 impl TraceData {
     /// Preprocess simulator traces.
     pub fn from_traces(traces: &[RunTrace]) -> Arc<Self> {
-        let runs = traces
-            .iter()
-            .map(|tr| {
-                let pkts: Vec<PacketView> = tr
-                    .packets
-                    .iter()
-                    .map(|p| PacketView {
-                        t: p.recv_ns as f64 / 1e9,
-                        size: p.size_bytes as f32,
-                        receiver: p.receiver_group as f32,
-                        delay: (p.delay_ns as f64 / 1e9) as f32,
-                    })
-                    .collect();
-                // First-arrival index per (flow, msg) for MCT anchoring.
-                let mut first: HashMap<(usize, u64), usize> = HashMap::new();
-                for (i, p) in tr.packets.iter().enumerate() {
-                    first.entry((p.flow, p.msg_id)).or_insert(i);
-                }
-                let anchors = tr
-                    .messages
-                    .iter()
-                    .filter_map(|m| {
-                        let a = *first.get(&(m.flow, m.msg_id))?;
-                        let mct = m.mct_ns() as f64 / 1e9;
-                        (mct > 0.0).then_some(MsgAnchor {
-                            anchor: a,
-                            mct_secs: mct,
-                            msg_size: m.size_bytes,
-                        })
-                    })
-                    .collect();
-                RunData { pkts, anchors }
-            })
-            .collect();
+        Self::from_runs(traces.iter().map(RunData::from_trace).collect())
+    }
+
+    /// Assemble a dataset from already-preprocessed runs (the streaming
+    /// path: runs arrive one at a time from the fleet executor).
+    pub fn from_runs(runs: Vec<RunData>) -> Arc<Self> {
         Arc::new(TraceData { runs })
     }
 
@@ -648,7 +658,7 @@ mod tests {
 
     #[test]
     fn batch_iter_covers_everything_once() {
-        let mut seen = vec![0u32; 10];
+        let mut seen = [0u32; 10];
         for batch in BatchIter::new(10, 3, 0, true) {
             for i in batch {
                 seen[i] += 1;

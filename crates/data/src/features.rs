@@ -101,8 +101,14 @@ mod tests {
 
     #[test]
     fn ablations_zero_one_channel() {
-        assert_eq!(FeatureMask::without_size().multipliers(), [1.0, 0.0, 1.0, 1.0]);
-        assert_eq!(FeatureMask::without_delay().multipliers(), [1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(
+            FeatureMask::without_size().multipliers(),
+            [1.0, 0.0, 1.0, 1.0]
+        );
+        assert_eq!(
+            FeatureMask::without_delay().multipliers(),
+            [1.0, 1.0, 1.0, 0.0]
+        );
         assert_eq!(
             FeatureMask::without_receiver().multipliers(),
             [1.0, 1.0, 0.0, 1.0]

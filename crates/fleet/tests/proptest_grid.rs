@@ -1,0 +1,79 @@
+//! Property-based tests of grid expansion: per-shard seeds are unique,
+//! expansion size matches the spec, and loads scale the right fields.
+
+use ntt_fleet::{SeedSchedule, SweepSpec};
+use ntt_sim::scenarios::{Scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+fn spec(base_seed: u64, n_scenarios: usize, n_loads: usize, runs: usize, mixed: bool) -> SweepSpec {
+    let all = [
+        Scenario::Pretrain,
+        Scenario::Case1,
+        Scenario::Case2,
+        Scenario::ParkingLot { hops: 5 },
+        Scenario::LeafSpine {
+            leaves: 4,
+            spines: 2,
+        },
+    ];
+    SweepSpec::new(ScenarioConfig::tiny(0))
+        .scenarios(all[..n_scenarios].to_vec())
+        .load_factors((1..=n_loads).map(|i| i as f64 * 0.5).collect())
+        .runs_per_cell(runs)
+        .base_seed(base_seed)
+        .seed_schedule(if mixed {
+            SeedSchedule::Mixed
+        } else {
+            SeedSchedule::Sequential
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_shard_gets_a_unique_seed(
+        base_seed in 0u64..u64::MAX / 2,
+        n_scenarios in 1usize..=5,
+        n_loads in 1usize..=4,
+        runs in 1usize..=6,
+        mixed in any::<bool>(),
+    ) {
+        let s = spec(base_seed, n_scenarios, n_loads, runs, mixed);
+        let shards = s.expand();
+        prop_assert_eq!(shards.len(), n_scenarios * n_loads * runs);
+        prop_assert_eq!(shards.len(), s.len());
+        let seeds: std::collections::HashSet<u64> =
+            shards.iter().map(|sh| sh.cfg.seed).collect();
+        prop_assert_eq!(
+            seeds.len(), shards.len(),
+            "seed collision in {} shards (schedule mixed={})", shards.len(), mixed
+        );
+    }
+
+    #[test]
+    fn load_factors_scale_both_traffic_rates(
+        base_seed in 0u64..1000,
+        n_loads in 1usize..=4,
+    ) {
+        let s = spec(base_seed, 2, n_loads, 2, true);
+        let base = ScenarioConfig::tiny(0);
+        for shard in s.expand() {
+            let expected_fg = base.sender_rate_bps * shard.load_factor;
+            let expected_x = base.cross_rate_bps * shard.load_factor;
+            prop_assert!((shard.cfg.sender_rate_bps - expected_fg).abs() < 1e-6);
+            prop_assert!((shard.cfg.cross_rate_bps - expected_x).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn expansion_is_a_pure_function_of_the_spec(
+        base_seed in 0u64..10_000,
+        runs in 1usize..=5,
+    ) {
+        let s = spec(base_seed, 3, 2, runs, true);
+        let a: Vec<(usize, u64)> = s.expand().iter().map(|sh| (sh.index, sh.cfg.seed)).collect();
+        let b: Vec<(usize, u64)> = s.expand().iter().map(|sh| (sh.index, sh.cfg.seed)).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -60,7 +60,9 @@ impl MultiHeadAttention {
         let v = split(self.wv.forward(tape, x));
 
         // Scaled dot-product: softmax(Q·Kᵀ / sqrt(dh)) · V.
-        let scores = q.matmul(k.transpose_last2()).scale(1.0 / (dh as f32).sqrt());
+        let scores = q
+            .matmul(k.transpose_last2())
+            .scale(1.0 / (dh as f32).sqrt());
         let attn = scores.softmax_last();
         let ctx = attn.matmul(v); // [B, H, T, dh]
 
@@ -84,7 +86,9 @@ impl MultiHeadAttention {
         let q = split(self.wq.forward(tape, x));
         let k = split(self.wk.forward(tape, x));
         let v = split(self.wv.forward(tape, x));
-        let scores = q.matmul(k.transpose_last2()).scale(1.0 / (dh as f32).sqrt());
+        let scores = q
+            .matmul(k.transpose_last2())
+            .scale(1.0 / (dh as f32).sqrt());
         let attn = scores.softmax_last();
         let ctx = attn.matmul(v);
         let merged = ctx.transpose_axes_1_2().reshape(&[b, t, d]);

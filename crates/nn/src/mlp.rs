@@ -18,11 +18,21 @@ pub struct Mlp {
 impl Mlp {
     /// Build from a width list, e.g. `[64, 32, 1]` = two layers.
     pub fn new(name: &str, widths: &[usize], activation: Activation, seed: u64) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
-            .map(|(i, w)| Linear::new(&format!("{name}.fc{i}"), w[0], w[1], seed.wrapping_add(i as u64 * 31)))
+            .map(|(i, w)| {
+                Linear::new(
+                    &format!("{name}.fc{i}"),
+                    w[0],
+                    w[1],
+                    seed.wrapping_add(i as u64 * 31),
+                )
+            })
             .collect();
         Mlp { layers, activation }
     }

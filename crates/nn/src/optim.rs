@@ -56,7 +56,11 @@ pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
             continue;
         }
         let g = p.grad();
-        sq += g.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+        sq += g
+            .data()
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>();
     }
     let norm = sq.sqrt() as f32;
     if norm > max_norm && norm > 0.0 {
@@ -303,13 +307,13 @@ mod tests {
     fn clip_grad_norm_scales_down_only_when_needed() {
         let p = Param::new("w", Tensor::zeros(&[3]));
         p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0, 0.0], &[3]));
-        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((pre - 5.0).abs() < 1e-5);
         assert!((p.grad().norm() - 1.0).abs() < 1e-5);
         // Already small: untouched.
         let q = Param::new("q", Tensor::zeros(&[1]));
         q.accumulate_grad(&Tensor::from_vec(vec![0.5], &[1]));
-        clip_grad_norm(&[q.clone()], 1.0);
+        clip_grad_norm(std::slice::from_ref(&q), 1.0);
         assert!((q.grad().item() - 0.5).abs() < 1e-7);
     }
 

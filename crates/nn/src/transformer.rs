@@ -140,7 +140,9 @@ impl TransformerEncoder {
             })
             .collect();
         let final_ln = match cfg.norm {
-            NormPlacement::PreNorm => Some(LayerNorm::new(&format!("{name}.final_ln"), cfg.d_model)),
+            NormPlacement::PreNorm => {
+                Some(LayerNorm::new(&format!("{name}.final_ln"), cfg.d_model))
+            }
             NormPlacement::PostNorm => None,
         };
         TransformerEncoder { layers, final_ln }

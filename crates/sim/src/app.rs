@@ -60,7 +60,12 @@ impl App {
     }
 
     /// Build a CBR source offering `rate_bps` in `chunk_bytes` pieces.
-    pub fn cbr_source(flow: FlowId, chunk_bytes: u64, rate_bps: f64, active_until: SimTime) -> Self {
+    pub fn cbr_source(
+        flow: FlowId,
+        chunk_bytes: u64,
+        rate_bps: f64,
+        active_until: SimTime,
+    ) -> Self {
         assert!(rate_bps > 0.0 && chunk_bytes > 0);
         let interval = SimTime::from_secs_f64(chunk_bytes as f64 * 8.0 / rate_bps);
         App::CbrSource {

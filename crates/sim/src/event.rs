@@ -82,7 +82,11 @@ impl EventQueue {
     /// Schedule `event` at absolute time `at`. Scheduling in the past is
     /// a simulator bug and panics.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });

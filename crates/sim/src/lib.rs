@@ -16,6 +16,14 @@
 //!   Homa-like sizes) and CBR-over-TCP cross-traffic
 //! * the paper's Fig. 4 dataset scenarios (pre-training, fine-tuning
 //!   case 1 and case 2) and receiver-side trace collection
+//! * parameterized topology families beyond the paper's fixed setups:
+//!   [`Scenario::ParkingLot`] (a chain with a configurable number of
+//!   bottleneck hops, one receiver per hop) and [`Scenario::LeafSpine`]
+//!   (a two-tier fabric with deterministic spine spreading and
+//!   destination-skewed cross-traffic). These feed the scenario grids
+//!   of the `ntt-fleet` parallel dataset engine; the
+//!   [`TopologyBuilder::chain`] and [`TopologyBuilder::leaf_spine`]
+//!   helpers build the underlying graphs for custom setups.
 //!
 //! ## What is deliberately omitted (DESIGN.md §7)
 //! SACK, delayed ACKs, Nagle, window scaling, ECN, byte-granularity
@@ -52,11 +60,13 @@ pub use app::App;
 pub use event::{Event, EventQueue};
 pub use link::{Enqueue, Link, LinkConfig, LinkStats};
 pub use node::{Node, NodeKind};
-pub use packet::{AppId, FlowId, LinkId, MsgId, NodeId, Packet, PacketKind, ACK_BYTES, HEADER_BYTES, MSS};
+pub use packet::{
+    AppId, FlowId, LinkId, MsgId, NodeId, Packet, PacketKind, ACK_BYTES, HEADER_BYTES, MSS,
+};
+pub use persist::{load_trace, save_trace};
 pub use scenarios::{RunTrace, Scenario, ScenarioConfig};
 pub use sim::{SimStats, Simulator};
 pub use tcp::{TcpConfig, TcpFlow};
 pub use time::SimTime;
 pub use topology::TopologyBuilder;
-pub use persist::{load_trace, save_trace};
 pub use trace::{MessageRecord, PacketRecord, QueueSample, TraceCollector};

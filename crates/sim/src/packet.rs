@@ -76,7 +76,10 @@ impl Packet {
         msg_size: u64,
         msg_last: bool,
     ) -> Self {
-        assert!(payload > 0 && payload <= MSS, "payload {payload} out of range");
+        assert!(
+            payload > 0 && payload <= MSS,
+            "payload {payload} out of range"
+        );
         Packet {
             flow,
             kind: PacketKind::Data,

@@ -204,7 +204,10 @@ mod tests {
         let base = tmp_base("pipeline");
         save_trace(&base, &trace).unwrap();
         let back = load_trace(&base).unwrap();
-        assert!(back.packets.windows(2).all(|w| w[0].recv_ns <= w[1].recv_ns));
+        assert!(back
+            .packets
+            .windows(2)
+            .all(|w| w[0].recv_ns <= w[1].recv_ns));
         assert!(!back.messages.is_empty());
         cleanup(&base);
     }

@@ -72,7 +72,11 @@ impl Simulator {
     pub fn enable_queue_telemetry(&mut self, link: usize, interval: SimTime) {
         assert!(link < self.links.len(), "unknown link {link}");
         assert!(interval > SimTime::ZERO, "interval must be positive");
-        if self.telemetry.insert(link, (interval, Vec::new())).is_none() {
+        if self
+            .telemetry
+            .insert(link, (interval, Vec::new()))
+            .is_none()
+        {
             self.queue.schedule_in(interval, Event::Telemetry { link });
         }
     }
@@ -160,8 +164,10 @@ impl Simulator {
                     queue_len: l.queue_len(),
                     dropped: l.stats.dropped_overflow + l.stats.dropped_fault,
                 };
-                let (interval, series) =
-                    self.telemetry.get_mut(&link).expect("telemetry not enabled");
+                let (interval, series) = self
+                    .telemetry
+                    .get_mut(&link)
+                    .expect("telemetry not enabled");
                 series.push(sample);
                 let next = *interval;
                 self.queue.schedule_in(next, Event::Telemetry { link });
@@ -240,7 +246,8 @@ impl Simulator {
         match self.links[link_id].offer(pkt, roll) {
             Enqueue::StartTx => {
                 let tx = self.links[link_id].current_tx_time();
-                self.queue.schedule_in(tx, Event::TxComplete { link: link_id });
+                self.queue
+                    .schedule_in(tx, Event::TxComplete { link: link_id });
             }
             Enqueue::Queued => {}
             Enqueue::Dropped => {
@@ -287,13 +294,7 @@ mod tests {
             1_000_000.0,
             SimTime::from_millis(1), // one message, then stop
         )];
-        let mut sim = Simulator::new(
-            vec![h0, h1],
-            links,
-            flows,
-            apps,
-            42,
-        );
+        let mut sim = Simulator::new(vec![h0, h1], links, flows, apps, 42);
         sim.trace.record_flow(0);
         sim
     }
@@ -374,12 +375,18 @@ mod tests {
         sim.start_app(0, SimTime::ZERO);
         sim.run_until(SimTime::from_secs(10));
         let series = sim.telemetry_of(0);
-        assert!(series.len() > 50, "expected many samples, got {}", series.len());
+        assert!(
+            series.len() > 50,
+            "expected many samples, got {}",
+            series.len()
+        );
         let peak = series.iter().map(|s| s.queue_len).max().unwrap();
         assert!(peak >= 10, "burst should build a queue, peak {peak}");
         assert_eq!(series.last().unwrap().queue_len, 0, "queue drains");
         // Timestamps strictly increase by the interval.
-        assert!(series.windows(2).all(|w| w[1].t_ns == w[0].t_ns + 10_000_000));
+        assert!(series
+            .windows(2)
+            .all(|w| w[1].t_ns == w[0].t_ns + 10_000_000));
         // Untapped links report nothing.
         assert!(sim.telemetry_of(1).is_empty());
     }

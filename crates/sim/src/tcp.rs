@@ -222,7 +222,10 @@ impl TcpFlow {
     pub fn on_ack(&mut self, now: SimTime, ack: u64) -> SendResult {
         if ack > self.snd_next {
             // Acknowledging unsent data would be a simulator bug.
-            panic!("flow {}: ack {ack} beyond snd_next {}", self.id, self.snd_next);
+            panic!(
+                "flow {}: ack {ack} beyond snd_next {}",
+                self.id, self.snd_next
+            );
         }
         if ack > self.snd_una {
             let newly = (ack - self.snd_una) as usize;
@@ -302,7 +305,9 @@ impl TcpFlow {
         let mut packets = Vec::new();
         let window = self.cwnd.floor().max(1.0) as usize;
         while self.in_flight.len() < window {
-            let Some(chunk) = self.backlog.pop_front() else { break };
+            let Some(chunk) = self.backlog.pop_front() else {
+                break;
+            };
             let seq = self.snd_next;
             self.snd_next += 1;
             let pkt = self.make_packet(seq, &chunk, now);

@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn tx_time_matches_bandwidth_math() {
         // 1500 bytes at 30 Mbps = 12000 bits / 30e6 bps = 400 microseconds.
-        assert_eq!(SimTime::tx_time(1500, 30_000_000), SimTime::from_micros(400));
+        assert_eq!(
+            SimTime::tx_time(1500, 30_000_000),
+            SimTime::from_micros(400)
+        );
         // Rounds up: 1 byte at 1 Gbps = 8 ns exactly.
         assert_eq!(SimTime::tx_time(1, 1_000_000_000), SimTime(8));
         // Never zero for nonzero payloads.

@@ -63,6 +63,57 @@ impl TopologyBuilder {
         self.nodes.len()
     }
 
+    /// Number of (unidirectional) links added so far.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Add a chain of `n` switches connected consecutively with
+    /// symmetric `cfg` links (the "parking lot" backbone). Returns the
+    /// switch ids in chain order.
+    pub fn chain(&mut self, n: usize, cfg: LinkConfig) -> Vec<NodeId> {
+        assert!(n >= 2, "a chain needs at least two switches");
+        let sw: Vec<NodeId> = (0..n)
+            .map(|i| self.add_switch(format!("chain{i}")))
+            .collect();
+        for w in sw.windows(2) {
+            self.connect(w[0], w[1], cfg);
+        }
+        sw
+    }
+
+    /// Add a two-tier leaf-spine fabric: every leaf switch connects to
+    /// every spine switch with symmetric `cfg` links. Returns
+    /// `(leaves, spines)`.
+    ///
+    /// Per-leaf link insertion order is *rotated* (leaf `j` connects to
+    /// spines `j % s, (j+1) % s, ...`), so BFS tie-breaking — which
+    /// prefers the first-inserted link — deterministically spreads
+    /// traffic toward different leaves across different spines instead
+    /// of collapsing everything onto spine 0.
+    pub fn leaf_spine(
+        &mut self,
+        leaves: usize,
+        spines: usize,
+        cfg: LinkConfig,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        assert!(leaves >= 2, "a leaf-spine fabric needs at least two leaves");
+        assert!(spines >= 1, "a leaf-spine fabric needs at least one spine");
+        let leaf_ids: Vec<NodeId> = (0..leaves)
+            .map(|i| self.add_switch(format!("leaf{i}")))
+            .collect();
+        let spine_ids: Vec<NodeId> = (0..spines)
+            .map(|i| self.add_switch(format!("spine{i}")))
+            .collect();
+        for (j, &leaf) in leaf_ids.iter().enumerate() {
+            for k in 0..spines {
+                let spine = spine_ids[(j + k) % spines];
+                self.connect(leaf, spine, cfg);
+            }
+        }
+        (leaf_ids, spine_ids)
+    }
+
     /// Compute next-hop tables (BFS shortest hop count, deterministic
     /// tie-break by link insertion order) and return the parts.
     pub fn build(mut self) -> (Vec<Node>, Vec<Link>) {
@@ -155,6 +206,53 @@ mod tests {
         let mut t = TopologyBuilder::new();
         let a = t.add_host("a");
         t.link(a, a, cfg());
+    }
+
+    #[test]
+    fn chain_routes_hop_by_hop() {
+        let mut t = TopologyBuilder::new();
+        let sw = t.chain(5, cfg());
+        let h = t.add_host("h");
+        t.connect(sw[4], h, cfg());
+        let src = t.add_host("src");
+        t.connect(src, sw[0], cfg());
+        let (nodes, links) = t.build();
+        // src -> sw0 -> sw1 -> ... -> sw4 -> h: walk the route table.
+        let mut at = src;
+        let mut hops = 0;
+        while at != h {
+            at = links[nodes[at].route(h)].to;
+            hops += 1;
+            assert!(hops < 10, "routing loop");
+        }
+        assert_eq!(hops, 6, "src->sw0, 4 chain hops, sw4->h = 6 links");
+    }
+
+    #[test]
+    fn leaf_spine_spreads_destinations_across_spines() {
+        let mut t = TopologyBuilder::new();
+        let (leaves, spines) = t.leaf_spine(4, 2, cfg());
+        // One host per leaf so routes terminate at hosts.
+        let hosts: Vec<_> = (0..4)
+            .map(|i| {
+                let h = t.add_host(format!("h{i}"));
+                t.connect(leaves[i], h, cfg());
+                h
+            })
+            .collect();
+        let (nodes, links) = t.build();
+        // From leaf 0, traffic toward different remote leaves must not
+        // all share one spine.
+        let via: Vec<NodeId> = (1..4)
+            .map(|j| links[nodes[leaves[0]].route(hosts[j])].to)
+            .collect();
+        assert!(
+            via.iter().any(|v| *v != via[0]),
+            "all destinations collapsed onto one spine: {via:?}"
+        );
+        for v in &via {
+            assert!(spines.contains(v), "next hop {v} is not a spine");
+        }
     }
 
     #[test]

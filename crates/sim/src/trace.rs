@@ -136,7 +136,8 @@ impl TraceCollector {
         if self.packets.is_empty() {
             return 0.0;
         }
-        self.packets.iter().map(|p| p.delay_ns as f64).sum::<f64>() / self.packets.len() as f64
+        self.packets.iter().map(|p| p.delay_ns as f64).sum::<f64>()
+            / self.packets.len() as f64
             / 1e9
     }
 

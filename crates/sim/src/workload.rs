@@ -119,7 +119,10 @@ mod tests {
     #[test]
     fn log_uniform_respects_bounds() {
         let mut r = rng(2);
-        let d = MsgSizeDist::LogUniform { min: 100, max: 10_000 };
+        let d = MsgSizeDist::LogUniform {
+            min: 100,
+            max: 10_000,
+        };
         for _ in 0..1000 {
             let s = d.sample(&mut r);
             assert!((100..=10_000).contains(&s), "sample {s}");
@@ -132,7 +135,10 @@ mod tests {
         let d = MsgSizeDist::HomaLike;
         let samples: Vec<u64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
         let one_pkt = samples.iter().filter(|&&s| s <= 1_446).count() as f64 / 50_000.0;
-        assert!((one_pkt - 0.5).abs() < 0.02, "single-packet fraction {one_pkt}");
+        assert!(
+            (one_pkt - 0.5).abs() < 0.02,
+            "single-packet fraction {one_pkt}"
+        );
         let big = samples.iter().filter(|&&s| s > 144_600).count() as f64 / 50_000.0;
         assert!((big - 0.05).abs() < 0.01, "large-message fraction {big}");
         // Mean is dominated by the tail: far above the median.

@@ -2,11 +2,11 @@
 //! bounds, FIFO order, TCP reliability under arbitrary loss, ACK
 //! monotonicity, and event-queue ordering.
 
+use ntt_sim::workload::MsgSizeDist;
 use ntt_sim::{
     App, Enqueue, EventQueue, Link, LinkConfig, Node, NodeKind, Packet, SimTime, Simulator,
     TcpConfig, TcpFlow, MSS,
 };
-use ntt_sim::workload::MsgSizeDist;
 use proptest::prelude::*;
 
 proptest! {

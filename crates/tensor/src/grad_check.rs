@@ -4,9 +4,9 @@
 //! finite-difference approximation. This is the ground truth that lets
 //! the rest of the workspace trust the autodiff engine.
 
-use crate::{Param, Tape};
 #[cfg(test)]
 use crate::Tensor;
+use crate::{Param, Tape};
 
 /// Result of a gradient check: worst absolute and relative error seen.
 #[derive(Debug, Clone, Copy)]

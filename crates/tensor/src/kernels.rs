@@ -10,7 +10,7 @@
 //! All kernels use an `i-k-j` loop order so the innermost loop walks both
 //! `B` and `C` contiguously — this autovectorizes well and is an order of
 //! magnitude faster than the naive `i-j-k` order. Work above
-//! [`PAR_THRESHOLD`] FLOPs is split over row blocks on scoped crossbeam
+//! [`PAR_THRESHOLD`] FLOPs is split over row blocks on scoped std
 //! threads (the guides are explicit that CPU-bound work belongs on
 //! threads, not an async runtime).
 
@@ -38,7 +38,7 @@ where
         return;
     }
     let rows_per = m.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = c;
         let mut start = 0usize;
         while start < m {
@@ -47,11 +47,10 @@ where
             rest = tail;
             let range = start..start + rows;
             let body = &body;
-            s.spawn(move |_| body(range, chunk));
+            s.spawn(move || body(range, chunk));
             start += rows;
         }
-    })
-    .expect("matmul worker panicked");
+    });
 }
 
 /// `C[m,n] += A[m,k] · B[k,n]`.
@@ -188,7 +187,7 @@ mod tests {
         let (m, k, n) = (6, 7, 5);
         let a = rand_vec(m * k, 5);
         let bt = rand_vec(n * k, 6); // B stored as [n, k]
-        // Reference: build B=[k,n] from bt and run naive.
+                                     // Reference: build B=[k,n] from bt and run naive.
         let mut b = vec![0.0; k * n];
         for j in 0..n {
             for p in 0..k {

@@ -51,18 +51,27 @@ enum Op {
     /// Swap axes 1 and 2 of a rank-4 value (attention head regrouping).
     TransposeAxes12(usize),
     /// Rows `[start, start+len)` along axis 1 of a rank-3 tensor.
-    SliceAxis1 { x: usize, start: usize },
+    SliceAxis1 {
+        x: usize,
+        start: usize,
+    },
     /// Concatenate rank-3 tensors along axis 1.
     ConcatAxis1(Vec<usize>),
     /// Pick one slot along axis 1: `[B, T, D] -> [B, D]`.
-    SelectAxis1 { x: usize, idx: usize },
+    SelectAxis1 {
+        x: usize,
+        idx: usize,
+    },
     /// Mean over axis 1: `[B, T, D] -> [B, D]`.
     MeanAxis1(usize),
     /// Concatenate rank-2 tensors along the last axis.
     ConcatLast(usize, usize),
     MeanAll(usize),
     /// Fused mean-squared-error against a constant target.
-    MseLoss { pred: usize, target: Tensor },
+    MseLoss {
+        pred: usize,
+        target: Tensor,
+    },
 }
 
 struct Node {
@@ -382,6 +391,7 @@ impl Tape {
     }
 }
 
+#[allow(clippy::should_implement_trait)] // add/sub/mul/neg mirror the op names on a by-value Var, deliberately
 impl<'t> Var<'t> {
     /// Clone of this node's value.
     pub fn value(&self) -> Tensor {
@@ -458,9 +468,16 @@ impl<'t> Var<'t> {
         let vb = rhs.value();
         let (ba, m, k) = shape::as_batched_matrix(va.shape());
         let (bb, k2, n) = shape::as_batched_matrix(vb.shape());
-        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", va.shape(), vb.shape());
         assert_eq!(
-            ba, bb,
+            k,
+            k2,
+            "matmul inner dims: {:?} x {:?}",
+            va.shape(),
+            vb.shape()
+        );
+        assert_eq!(
+            ba,
+            bb,
             "matmul batch dims: {:?} x {:?}",
             va.shape(),
             vb.shape()
@@ -569,8 +586,7 @@ impl<'t> Var<'t> {
     /// Rows `[start, start+len)` along axis 1 of a rank-3 value.
     pub fn slice_axis1(self, start: usize, len: usize) -> Var<'t> {
         let out = self.value().slice_axis1(start, len);
-        self.tape
-            .push(Op::SliceAxis1 { x: self.id, start }, out)
+        self.tape.push(Op::SliceAxis1 { x: self.id, start }, out)
     }
 
     /// Concatenate rank-3 values along axis 1.
@@ -704,7 +720,10 @@ mod tests {
         let bias = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
         let y = x.add(bias);
         assert_eq!(y.value().at(&[1, 1, 2]), 4.0);
-        let pe = t.input(Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]));
+        let pe = t.input(Tensor::from_vec(
+            (0..6).map(|i| i as f32).collect(),
+            &[2, 3],
+        ));
         let z = x.add(pe);
         assert_eq!(z.value().at(&[0, 1, 2]), 6.0);
         assert_eq!(z.value().at(&[1, 1, 2]), 6.0);
@@ -723,10 +742,9 @@ mod tests {
         assert!((loss.value().item() - (16.0 + 100.0) / 2.0).abs() < 1e-5);
         t.backward(loss);
         // dL/dy = y, dL/da = y*(b+1), dL/db = y*a
-        assert!(pa.grad().allclose(
-            &Tensor::from_vec(vec![4.0 * 4.0, 10.0 * 5.0], &[2]),
-            1e-4
-        ));
+        assert!(pa
+            .grad()
+            .allclose(&Tensor::from_vec(vec![4.0 * 4.0, 10.0 * 5.0], &[2]), 1e-4));
         assert!(pb
             .grad()
             .allclose(&Tensor::from_vec(vec![4.0, 20.0], &[2]), 1e-4));

@@ -218,7 +218,12 @@ impl Tensor {
 
     /// L2 norm.
     pub fn norm(&self) -> f32 {
-        (self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+        (self
+            .data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>())
+        .sqrt() as f32
     }
 
     /// True if any element is NaN or infinite.

@@ -10,8 +10,7 @@
 //! Run: `cargo run --release --example custom_topology`
 
 use ntt::sim::{
-    App, LinkConfig, Simulator, SimTime, TcpConfig, TcpFlow, TopologyBuilder,
-    workload::MsgSizeDist,
+    workload::MsgSizeDist, App, LinkConfig, SimTime, Simulator, TcpConfig, TcpFlow, TopologyBuilder,
 };
 
 fn main() {
@@ -61,7 +60,10 @@ fn main() {
         flows.push(TcpFlow::new(i, h, receiver, TcpConfig::default()));
         apps.push(App::message_source(
             i,
-            MsgSizeDist::LogUniform { min: 2_000, max: 500_000 },
+            MsgSizeDist::LogUniform {
+                min: 2_000,
+                max: 500_000,
+            },
             2_000_000.0, // 2 Mbps offered each
             SimTime::from_secs(5),
         ));
@@ -74,7 +76,10 @@ fn main() {
     sim.start_all_apps_jittered(SimTime::from_millis(300));
     sim.run_until(SimTime::from_secs(7));
 
-    println!("=== run summary ({} events) ===", sim.stats.events_processed);
+    println!(
+        "=== run summary ({} events) ===",
+        sim.stats.events_processed
+    );
     println!(
         "delivered {} packets, completed {} messages, mean delay {:.1} ms, p99 {:.1} ms",
         sim.trace.packets.len(),
@@ -88,8 +93,12 @@ fn main() {
         if l.stats.transmitted > 0 {
             println!(
                 "  link{i:2} {:>2} -> {:<2} {:>8} / {:>4} / {:>4} / {:>4}",
-                l.from, l.to, l.stats.transmitted, l.stats.dropped_overflow,
-                l.stats.dropped_fault, l.stats.max_queue_len,
+                l.from,
+                l.to,
+                l.stats.transmitted,
+                l.stats.dropped_overflow,
+                l.stats.dropped_fault,
+                l.stats.max_queue_len,
             );
         }
     }

@@ -7,11 +7,12 @@
 
 use ntt::core::baselines::{mct_ewma_mse, mct_last_observed_mse, EWMA_ALPHA};
 use ntt::core::{
-    eval_mct, train_delay, train_mct, Aggregation, DelayHead, MctHead, Ntt, NttConfig,
-    TrainConfig, TrainMode,
+    eval_mct, train_delay, train_mct, Aggregation, DelayHead, MctHead, Ntt, NttConfig, TrainConfig,
+    TrainMode,
 };
 use ntt::data::{DatasetConfig, DelayDataset, MctDataset, TraceData};
-use ntt::sim::scenarios::{run_many, Scenario, ScenarioConfig};
+use ntt::fleet::run_many_parallel;
+use ntt::sim::scenarios::{Scenario, ScenarioConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -37,13 +38,16 @@ fn main() {
     };
 
     // Pre-train the trunk on delay prediction.
-    let traces = run_many(Scenario::Case1, &ScenarioConfig::tiny(5), 2);
+    let traces = run_many_parallel(Scenario::Case1, &ScenarioConfig::tiny(5), 2, 0);
     let data = TraceData::from_traces(&traces);
     let (d_train, _) = DelayDataset::build(Arc::clone(&data), ds_cfg, None);
     let model = Ntt::new(model_cfg);
     let delay_head = DelayHead::new(model_cfg.d_model, 0);
     train_delay(&model, &delay_head, &d_train, &train_cfg, TrainMode::Full);
-    println!("trunk pre-trained on masked delay prediction ({} windows)", d_train.len());
+    println!(
+        "trunk pre-trained on masked delay prediction ({} windows)",
+        d_train.len()
+    );
 
     // Swap the decoder: an MCT head taking (encoded sequence, message size).
     let (m_train, m_test) = MctDataset::build(data, ds_cfg, d_train.norm.clone());
@@ -53,13 +57,22 @@ fn main() {
         m_test.len()
     );
     let mct_head = MctHead::new(model_cfg.d_model, 3);
-    train_mct(&model, &mct_head, &m_train, &train_cfg, TrainMode::DecoderOnly);
+    train_mct(
+        &model,
+        &mct_head,
+        &m_train,
+        &train_cfg,
+        TrainMode::DecoderOnly,
+    );
     let ev = eval_mct(&model, &mct_head, &m_test, 64);
 
     let lo = mct_last_observed_mse(&m_test);
     let ew = mct_ewma_mse(&m_test, EWMA_ALPHA);
     println!("\n=== MCT prediction, MSE on ln(seconds) scale ===");
-    println!("NTT (delay-pre-trained trunk + new head): {:.4}", ev.mse_raw);
+    println!(
+        "NTT (delay-pre-trained trunk + new head): {:.4}",
+        ev.mse_raw
+    );
     println!("last-observed baseline                  : {lo:.4}");
     println!("EWMA baseline (a={EWMA_ALPHA})             : {ew:.4}");
     println!(

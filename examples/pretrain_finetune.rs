@@ -11,7 +11,8 @@ use ntt::core::{
     TrainMode,
 };
 use ntt::data::{DatasetConfig, DelayDataset, TraceData};
-use ntt::sim::scenarios::{run_many, Scenario, ScenarioConfig};
+use ntt::fleet::run_many_parallel;
+use ntt::sim::scenarios::{Scenario, ScenarioConfig};
 
 fn main() {
     let model_cfg = NttConfig {
@@ -36,7 +37,7 @@ fn main() {
     };
 
     // ---- Phase 1: pre-train on the plain bottleneck environment ----
-    let pre_traces = run_many(Scenario::Pretrain, &ScenarioConfig::tiny(1), 2);
+    let pre_traces = run_many_parallel(Scenario::Pretrain, &ScenarioConfig::tiny(1), 2, 0);
     let (pre_train, pre_test) =
         DelayDataset::build(TraceData::from_traces(&pre_traces), ds_cfg, None);
     let model = Ntt::new(model_cfg);
@@ -58,7 +59,7 @@ fn main() {
     println!("checkpoint written to {}", ckpt.display());
 
     // ---- Phase 2: a new environment (cross-traffic) with little data ----
-    let ft_traces = run_many(Scenario::Case1, &ScenarioConfig::tiny(2), 2);
+    let ft_traces = run_many_parallel(Scenario::Case1, &ScenarioConfig::tiny(2), 2, 0);
     let (ft_train_all, ft_test) = DelayDataset::build(
         TraceData::from_traces(&ft_traces),
         ds_cfg,
@@ -88,12 +89,21 @@ fn main() {
     let ft_ev = eval_delay(&downloaded, &downloaded_head, &ft_test, 64);
 
     // From scratch on the same 10%.
-    let scratch = Ntt::new(NttConfig { seed: 7, ..model_cfg });
+    let scratch = Ntt::new(NttConfig {
+        seed: 7,
+        ..model_cfg
+    });
     let scratch_head = DelayHead::new(model_cfg.d_model, 7);
     let (s_train_all, s_test) =
         DelayDataset::build(TraceData::from_traces(&ft_traces), ds_cfg, None);
     let s_small = s_train_all.subsample(0.10, 0);
-    let s_rep = train_delay(&scratch, &scratch_head, &s_small, &train_cfg, TrainMode::Full);
+    let s_rep = train_delay(
+        &scratch,
+        &scratch_head,
+        &s_small,
+        &train_cfg,
+        TrainMode::Full,
+    );
     let s_ev = eval_delay(&scratch, &scratch_head, &s_test, 64);
 
     println!("\n=== unseen cross-traffic environment, delay MSE (normalized) ===");
@@ -108,7 +118,11 @@ fn main() {
     );
     println!(
         "\npre-training {} fine-tuning here (paper's Table 1/2 finding at miniature scale)",
-        if ft_ev.mse_norm <= s_ev.mse_norm { "beats" } else { "does not beat (tiny-scale noise!)" }
+        if ft_ev.mse_norm <= s_ev.mse_norm {
+            "beats"
+        } else {
+            "does not beat (tiny-scale noise!)"
+        }
     );
     std::fs::remove_file(ckpt).ok();
 }

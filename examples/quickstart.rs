@@ -4,7 +4,9 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use ntt::core::{eval_delay, train_delay, Aggregation, DelayHead, Ntt, NttConfig, TrainConfig, TrainMode};
+use ntt::core::{
+    eval_delay, train_delay, Aggregation, DelayHead, Ntt, NttConfig, TrainConfig, TrainMode,
+};
 use ntt::data::{DatasetConfig, DelayDataset, TraceData, NUM_FEATURES};
 use ntt::nn::Module;
 use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};

@@ -10,6 +10,9 @@
 //! * [`sim`] — deterministic packet-level network simulator (ns-3 substitute)
 //! * [`data`] — traces → training windows (features, splits, normalization)
 //! * [`core`] — the NTT model, trainer, baselines, checkpoints, federated averaging
+//! * [`fleet`] — parallel scenario-fleet engine: declarative sweep
+//!   grids over (scenario × topology × load × seed), a work-stealing
+//!   executor, and streaming trace ingestion
 //!
 //! ```
 //! use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
@@ -26,6 +29,7 @@
 
 pub use ntt_core as core;
 pub use ntt_data as data;
+pub use ntt_fleet as fleet;
 pub use ntt_nn as nn;
 pub use ntt_sim as sim;
 pub use ntt_tensor as tensor;

@@ -31,6 +31,24 @@ fn different_seeds_give_different_traces() {
 }
 
 #[test]
+fn fleet_grid_is_thread_count_invariant() {
+    use ntt::fleet::{run_fleet_traces, FleetConfig, SweepSpec};
+    use ntt::sim::SimTime;
+    let mut base = ScenarioConfig::tiny(17);
+    base.duration = SimTime::from_millis(600);
+    let spec = SweepSpec::new(base)
+        .scenarios(vec![Scenario::Pretrain, Scenario::Case2])
+        .runs_per_cell(2);
+    let (a, _) = run_fleet_traces(&spec, &FleetConfig::with_threads(1));
+    let (b, _) = run_fleet_traces(&spec, &FleetConfig::with_threads(3));
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.packets, y.packets);
+        assert_eq!(x.messages, y.messages);
+    }
+}
+
+#[test]
 fn training_is_reproducible_end_to_end() {
     let run_once = || {
         let traces = vec![run(Scenario::Pretrain, &ScenarioConfig::tiny(3))];
@@ -68,7 +86,11 @@ fn training_is_reproducible_end_to_end() {
         );
         report.epoch_losses
     };
-    assert_eq!(run_once(), run_once(), "identical seeds must give identical losses");
+    assert_eq!(
+        run_once(),
+        run_once(),
+        "identical seeds must give identical losses"
+    );
 }
 
 #[test]

@@ -3,12 +3,13 @@
 //! examples and the paper's workflow do.
 
 use ntt::core::{
-    eval_delay, eval_mct, train_delay, train_mct, Aggregation, DelayHead, MctHead, Ntt,
-    NttConfig, TrainConfig, TrainMode,
+    eval_delay, eval_mct, train_delay, train_mct, Aggregation, DelayHead, MctHead, Ntt, NttConfig,
+    TrainConfig, TrainMode,
 };
 use ntt::data::{DatasetConfig, DelayDataset, FeatureMask, MctDataset, TraceData};
+use ntt::fleet::run_many_parallel;
 use ntt::nn::Module;
-use ntt::sim::scenarios::{run, run_many, Scenario, ScenarioConfig};
+use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
 use std::sync::Arc;
 
 fn model_cfg() -> NttConfig {
@@ -43,7 +44,7 @@ fn quick_train() -> TrainConfig {
 
 #[test]
 fn sim_to_training_pipeline_learns() {
-    let traces = run_many(Scenario::Pretrain, &ScenarioConfig::tiny(100), 2);
+    let traces = run_many_parallel(Scenario::Pretrain, &ScenarioConfig::tiny(100), 2, 0);
     let (train, test) = DelayDataset::build(TraceData::from_traces(&traces), ds_cfg(), None);
     assert!(train.len() > 100 && test.len() > 10);
 
@@ -63,7 +64,7 @@ fn sim_to_training_pipeline_learns() {
 
 #[test]
 fn task_transfer_delay_trunk_to_mct_head() {
-    let traces = run_many(Scenario::Case1, &ScenarioConfig::tiny(101), 2);
+    let traces = run_many_parallel(Scenario::Case1, &ScenarioConfig::tiny(101), 2, 0);
     let data = TraceData::from_traces(&traces);
     let (d_train, _) = DelayDataset::build(Arc::clone(&data), ds_cfg(), None);
     let model = Ntt::new(model_cfg());
@@ -72,10 +73,20 @@ fn task_transfer_delay_trunk_to_mct_head() {
 
     // Swap the decoder for the new task, freeze the trunk.
     let (m_train, m_test) = MctDataset::build(data, ds_cfg(), d_train.norm.clone());
-    assert!(m_train.len() > 20, "need MCT anchors, got {}", m_train.len());
+    assert!(
+        m_train.len() > 20,
+        "need MCT anchors, got {}",
+        m_train.len()
+    );
     let m_head = MctHead::new(16, 2);
     let trunk_before: Vec<_> = model.params().iter().map(|p| p.value()).collect();
-    train_mct(&model, &m_head, &m_train, &quick_train(), TrainMode::DecoderOnly);
+    train_mct(
+        &model,
+        &m_head,
+        &m_train,
+        &quick_train(),
+        TrainMode::DecoderOnly,
+    );
     for (p, b) in model.params().iter().zip(trunk_before) {
         assert_eq!(p.value(), b, "frozen trunk moved: {}", p.name());
     }
@@ -97,12 +108,27 @@ fn feature_ablation_without_delay_cannot_predict_delay() {
 
     let full = Ntt::new(model_cfg());
     let full_head = DelayHead::new(16, 3);
-    train_delay(&full, &full_head, &train_full, &quick_train(), TrainMode::Full);
+    train_delay(
+        &full,
+        &full_head,
+        &train_full,
+        &quick_train(),
+        TrainMode::Full,
+    );
     let ev_full = eval_delay(&full, &full_head, &test_full, 32);
 
-    let blind = Ntt::new(NttConfig { seed: 6, ..model_cfg() });
+    let blind = Ntt::new(NttConfig {
+        seed: 6,
+        ..model_cfg()
+    });
     let blind_head = DelayHead::new(16, 4);
-    train_delay(&blind, &blind_head, &train_blind, &quick_train(), TrainMode::Full);
+    train_delay(
+        &blind,
+        &blind_head,
+        &train_blind,
+        &quick_train(),
+        TrainMode::Full,
+    );
     let ev_blind = eval_delay(&blind, &blind_head, &test_blind, 32);
 
     assert!(
@@ -148,7 +174,7 @@ fn case2_receiver_feature_matters() {
     // On the larger topology, receivers sit at different depths; the
     // receiver-ID feature must carry measurable signal (the paper's
     // "no addressing" in-text result).
-    let traces = run_many(Scenario::Case2, &ScenarioConfig::tiny(104), 2);
+    let traces = run_many_parallel(Scenario::Case2, &ScenarioConfig::tiny(104), 2, 0);
     let data = TraceData::from_traces(&traces);
     let (train, _) = DelayDataset::build(Arc::clone(&data), ds_cfg(), None);
     // Raw windows contain at least two distinct receiver groups.
@@ -158,5 +184,8 @@ fn case2_receiver_feature_matters() {
             groups.insert(p.receiver as u32);
         }
     }
-    assert!(groups.len() >= 2, "case 2 must mix receivers, saw {groups:?}");
+    assert!(
+        groups.len() >= 2,
+        "case 2 must mix receivers, saw {groups:?}"
+    );
 }

@@ -1,0 +1,211 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace uses: `criterion_group!`/`criterion_main!`, benchmark
+//! groups with `sample_size`/`throughput`, `bench_function`,
+//! `bench_with_input`, and `Bencher::iter`.
+//!
+//! Measurement is intentionally simple — a short warm-up, then
+//! `sample_size` timed samples of an adaptively chosen iteration batch —
+//! and results are printed as a plain text table (median, min, max, and
+//! derived throughput). No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (upstream: configuration + report state).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&id.to_string(), 20, None, &mut f);
+    }
+}
+
+/// Throughput unit attached to a group (per-iteration work).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier (upstream: function + parameter pair).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    sample_size: usize,
+    /// (median, min, max) per-iteration nanoseconds, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch size estimation: aim for >= 1 ms per sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        self.result = Some((median, per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((median, min, max)) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>10.3} Melem/s", n as f64 / median * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(
+                        "  {:>10.3} MiB/s",
+                        n as f64 / median * 1e9 / (1 << 20) as f64 / 1e6
+                    )
+                }
+                None => String::new(),
+            };
+            eprintln!(
+                "{label:<40} median {:>12}  [min {}, max {}]{rate}",
+                fmt_ns(median),
+                fmt_ns(min),
+                fmt_ns(max)
+            );
+        }
+        None => eprintln!("{label:<40} (no measurement: closure never called iter)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// `criterion_group!(name, target_fn, ...)` — a runner calling each
+/// target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c = $crate::Criterion::default();
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; nothing else is supported.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,57 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::{Strategy, TestRng};
+
+/// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Inclusive lower bound and exclusive upper bound.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// `vec(element_strategy, size)` — a vector whose length is drawn from
+/// `size` and whose elements are drawn from `element_strategy`.
+pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max - self.min) as u64;
+        let len = self.min
+            + if span > 1 {
+                rng.below(span) as usize
+            } else {
+                0
+            };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

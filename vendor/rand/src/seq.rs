@@ -1,0 +1,33 @@
+//! Sequence helpers (mirrors `rand::seq`).
+
+use crate::{RngCore, SampleRange};
+
+/// Shuffling and random selection on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle, deterministic in the generator state.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample_single(rng)])
+        }
+    }
+}
