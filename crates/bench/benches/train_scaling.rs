@@ -1,0 +1,184 @@
+//! Data-parallel training scaling: optimizer-step throughput of the
+//! paper-scale NTT at 1, 2, and 4+ worker threads.
+//!
+//! Custom harness (no criterion): one measured number — optimizer steps
+//! per second — per thread count, a determinism cross-check (losses must
+//! be bit-identical across thread counts), and a machine-readable
+//! summary in `results/BENCH_train.json`.
+//!
+//! Uses a synthetic delay-style task (random windows, fixed targets) so
+//! the bench isolates the training engine from simulation and dataset
+//! construction; the model is the paper's full size (1024-packet
+//! windows, d_model 64).
+//!
+//! Run: `cargo bench -p ntt-bench --bench train_scaling`
+
+use ntt_core::{train, DelayHead, Ntt, NttConfig, ParStrategy, Task, TrainConfig, TrainMode};
+use ntt_data::NUM_FEATURES;
+use ntt_nn::Module;
+use ntt_tensor::{Param, Tape, Tensor, Var};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Random windows + zero targets: the delay task's shapes without its
+/// simulation cost.
+struct SynthTask {
+    head: DelayHead,
+    windows: Tensor, // [N, seq, F]
+    seq: usize,
+}
+
+impl SynthTask {
+    fn new(n: usize, seq: usize, d_model: usize, seed: u64) -> Self {
+        SynthTask {
+            head: DelayHead::new(d_model, seed),
+            windows: Tensor::randn(&[n, seq, NUM_FEATURES], seed ^ 0xbe),
+            seq,
+        }
+    }
+}
+
+impl Task for SynthTask {
+    fn name(&self) -> &'static str {
+        "synth-delay"
+    }
+
+    fn len(&self) -> usize {
+        self.windows.shape()[0]
+    }
+
+    fn head_params(&self) -> Vec<Param> {
+        self.head.params()
+    }
+
+    fn target_std(&self) -> f32 {
+        1.0
+    }
+
+    fn batch_loss<'t>(&self, tape: &'t Tape, ntt: &Ntt, idx: &[usize]) -> Var<'t> {
+        let row = self.seq * NUM_FEATURES;
+        let mut x = Vec::with_capacity(idx.len() * row);
+        for &i in idx {
+            x.extend_from_slice(&self.windows.data()[i * row..(i + 1) * row]);
+        }
+        let x = Tensor::from_vec(x, &[idx.len(), self.seq, NUM_FEATURES]);
+        let pred = self.head.forward(tape, ntt.forward(tape, tape.input(x)));
+        pred.mse_loss(&Tensor::zeros(&[idx.len(), 1]))
+    }
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. --bench); ignore them.
+    let steps = 4usize;
+    let batch_size = 32usize;
+    let model_cfg = NttConfig {
+        aggregation: ntt_core::Aggregation::paper_multiscale(), // 1024-pkt windows
+        d_model: 64,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 128,
+        ..NttConfig::default()
+    };
+    let seq = model_cfg.seq_len();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4];
+    if cores > 4 {
+        counts.push(cores);
+    }
+    counts.dedup();
+
+    eprintln!(
+        "train_scaling: paper-scale NTT ({seq}-pkt windows, d_model {}), batch {batch_size}, microbatch {}, {steps} steps per thread count",
+        model_cfg.d_model,
+        ParStrategy::DEFAULT_MICROBATCH,
+    );
+
+    struct Row {
+        threads: usize,
+        steps_per_sec: f64,
+        speedup: f64,
+        losses: Vec<f64>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &counts {
+        // Fresh model AND task per run (the task owns the trained head)
+        // so every thread count does identical work from identical
+        // initial parameters.
+        let task = SynthTask::new(2 * batch_size, seq, model_cfg.d_model, 7);
+        let ntt = Ntt::new(model_cfg);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size,
+            max_steps_per_epoch: Some(steps),
+            seed: 3,
+            par: ParStrategy::with_threads(threads),
+            ..TrainConfig::default()
+        };
+        // One unmeasured warmup step (page-in, lazy allocs).
+        let warm = TrainConfig {
+            max_steps_per_epoch: Some(1),
+            ..cfg
+        };
+        train(&Ntt::new(model_cfg), &task, &warm, TrainMode::Full);
+
+        let t0 = Instant::now();
+        let report = train(&ntt, &task, &cfg, TrainMode::Full);
+        let wall = t0.elapsed().as_secs_f64();
+        let sps = report.steps as f64 / wall;
+        let speedup = rows.first().map_or(1.0, |r: &Row| sps / r.steps_per_sec);
+        eprintln!(
+            "  {threads:>2} threads: {:.3} steps/s ({:.2}s, speedup {speedup:.2}x, grad norm {:.3})",
+            sps, wall, report.final_grad_norm(),
+        );
+        rows.push(Row {
+            threads,
+            steps_per_sec: sps,
+            speedup,
+            losses: report.epoch_losses,
+        });
+    }
+
+    // Determinism cross-check: the speedup must be free.
+    for r in &rows[1..] {
+        assert_eq!(
+            r.losses, rows[0].losses,
+            "losses diverged between 1 and {} threads — determinism contract broken",
+            r.threads
+        );
+    }
+    eprintln!("  losses bit-identical across all thread counts ✓");
+
+    let mut json = String::from("{\n  \"bench\": \"train_scaling\",\n");
+    let _ = writeln!(json, "  \"model\": \"paper\",");
+    let _ = writeln!(json, "  \"seq_len\": {seq},");
+    let _ = writeln!(json, "  \"batch_size\": {batch_size},");
+    let _ = writeln!(
+        json,
+        "  \"microbatch\": {},",
+        ParStrategy::DEFAULT_MICROBATCH
+    );
+    let _ = writeln!(json, "  \"steps\": {steps},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"steps_per_sec\": {:.4}, \"speedup\": {:.3}}}{}",
+            r.threads,
+            r.steps_per_sec,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    // Workspace-root results/, regardless of cargo's bench CWD.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = dir.join("BENCH_train.json");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        eprintln!("  (could not write {}: {e})", path.display());
+    } else {
+        eprintln!("  wrote {}", path.display());
+    }
+}

@@ -13,8 +13,8 @@
 //! absolute numbers shrink. EXPERIMENTS.md records quick-scale results.
 
 use ntt_core::{
-    eval_delay, train_delay, Aggregation, DelayHead, EvalReport, Ntt, NttConfig, TrainConfig,
-    TrainMode, TrainReport,
+    eval_delay, train_delay, Aggregation, DelayHead, EvalReport, Ntt, NttConfig, ParStrategy,
+    TrainConfig, TrainMode, TrainReport,
 };
 use ntt_data::{DatasetConfig, DelayDataset, FeatureMask, MctDataset, Normalizer, TraceData};
 use ntt_fleet::{run_fleet_traces, FleetConfig, SweepSpec};
@@ -34,8 +34,11 @@ pub enum Scale {
 pub struct Env {
     pub scale: Scale,
     pub seed: u64,
-    /// Simulation worker threads for dataset generation (0 = one per
-    /// core); training itself stays single-threaded per model.
+    /// Worker threads for *both* halves of the pipeline (0 = one per
+    /// core): the simulation fleet fans scenario runs out per shard,
+    /// and the trainer fans each optimizer step's batch out as
+    /// microbatches. Both are bit-reproducible at any thread count, so
+    /// this is purely a throughput knob.
     pub threads: usize,
 }
 
@@ -49,10 +52,15 @@ impl Env {
             _ => Scale::Quick,
         };
         let mut seed = 0u64;
-        let mut threads = std::env::var("NTT_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0usize);
+        let mut threads = match std::env::var("NTT_THREADS") {
+            Ok(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!(
+                    "warning: NTT_THREADS={s:?} is not an integer; using 0 (one worker per core)"
+                );
+                0usize
+            }),
+            Err(_) => 0usize,
+        };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -78,19 +86,27 @@ impl Env {
                 "--threads" => {
                     i += 1;
                     threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                        eprintln!("--threads needs an integer (0 = auto)");
+                        eprintln!("--threads needs an integer (0 = auto): worker threads for simulation AND training, results identical at any value");
                         std::process::exit(2);
                     });
                 }
                 other => {
                     eprintln!(
-                        "unknown argument {other:?} (supported: --scale quick|paper, --seed N, --threads N)"
+                        "unknown argument {other:?} (supported: --scale quick|paper, --seed N, --threads N [sim+train workers, 0 = auto])"
                     );
                     std::process::exit(2);
                 }
             }
             i += 1;
         }
+        // Re-export the resolved thread count so every ParStrategy
+        // derived from the environment (evaluation wrappers,
+        // TrainConfig::default) sees the flag too — "--threads" means
+        // the whole pipeline, not just the calls that take it
+        // explicitly. Safe only because from_args is the first thing
+        // each binary's main() does, before any thread could read the
+        // environment concurrently.
+        std::env::set_var("NTT_THREADS", threads.to_string());
         Env {
             scale,
             seed,
@@ -178,6 +194,7 @@ impl Env {
                 lr: 2e-3,
                 max_steps_per_epoch: Some(100),
                 seed: self.seed,
+                par: ParStrategy::with_threads(self.threads),
                 ..TrainConfig::default()
             },
             Scale::Paper => TrainConfig {
@@ -186,6 +203,7 @@ impl Env {
                 lr: 1e-3,
                 max_steps_per_epoch: None,
                 seed: self.seed,
+                par: ParStrategy::with_threads(self.threads),
                 ..TrainConfig::default()
             },
         }
@@ -204,6 +222,7 @@ impl Env {
                 lr: 2e-3,
                 max_steps_per_epoch: Some(20),
                 seed: self.seed ^ 1,
+                par: ParStrategy::with_threads(self.threads),
                 ..TrainConfig::default()
             },
             Scale::Paper => TrainConfig {
@@ -212,6 +231,7 @@ impl Env {
                 lr: 1e-3,
                 max_steps_per_epoch: None,
                 seed: self.seed ^ 1,
+                par: ParStrategy::with_threads(self.threads),
                 ..TrainConfig::default()
             },
         }
@@ -292,10 +312,12 @@ pub fn pretrain_variant(
     let pretrain_eval = eval_delay(&model, &head, &test, 64);
     let pretrain_nmse = pretrain_eval.mse_raw / test.target_variance();
     eprintln!(
-        "[pretrain:{label}] {} steps in {}; test MSE {:.3}e-3 (variance-relative)",
+        "[pretrain:{label}] {} steps in {}; test MSE {:.3}e-3 (variance-relative); grad norm {:.3} -> {:.3}",
         report.steps,
         crate::report::fmt_duration(report.wall.as_secs_f64()),
         pretrain_nmse * 1e3,
+        report.grad_norms.first().copied().unwrap_or(0.0),
+        report.final_grad_norm(),
     );
     PretrainedVariant {
         label: label.to_string(),

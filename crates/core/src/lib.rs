@@ -35,10 +35,13 @@ pub mod checkpoint;
 mod config;
 pub mod federated;
 mod model;
+mod task;
 mod trainer;
 
 pub use config::{Aggregation, NttConfig, OUT_SLOTS, ZONE_SLOTS};
 pub use model::{DelayHead, MctHead, Ntt};
+pub use task::{DelayTask, MctTask, Task};
 pub use trainer::{
-    eval_delay, eval_mct, train_delay, train_mct, EvalReport, TrainConfig, TrainMode, TrainReport,
+    eval_delay, eval_mct, evaluate, train, train_delay, train_mct, EvalReport, ParStrategy,
+    TrainConfig, TrainMode, TrainReport,
 };

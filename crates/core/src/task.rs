@@ -1,0 +1,128 @@
+//! The [`Task`] trait: what the generic train/eval engine needs to know
+//! about a prediction task.
+//!
+//! The paper's two tasks — masked-delay prediction (pre-training) and
+//! message-completion-time regression (fine-tuning) — differ only in
+//! their dataset, head, and forward wiring. Everything else (batching,
+//! shuffling, the optimizer loop, microbatch fan-out, deterministic
+//! gradient reduction, evaluation accounting) is task-independent and
+//! lives once in [`crate::trainer`]. A new task is a ~30-line impl of
+//! this trait, not a fourth copy of the training loop.
+
+use crate::model::{DelayHead, MctHead, Ntt};
+use ntt_data::{DelayDataset, MctDataset};
+use ntt_nn::Module;
+use ntt_tensor::{Param, Tape, Var};
+
+/// A supervised task the engine can train and evaluate.
+///
+/// `Sync` is a supertrait because the data-parallel trainer shares one
+/// task across worker threads, each building its own microbatch graph.
+///
+/// # Contract
+///
+/// [`Task::batch_loss`] must build the forward graph for the given
+/// sample indices on `tape` and return a **scalar** (shape `[1]`) loss
+/// that is a *mean with uniform per-sample weighting* — the engine
+/// relies on this to recombine microbatch losses as
+/// `Σ (|shard| / |batch|) · loss_shard`, which reproduces the
+/// whole-batch mean exactly. Any stochasticity (dropout) must be drawn
+/// from the tape's RNG stream so the result is a pure function of
+/// `(parameters, indices, tape seed)` regardless of the calling thread.
+pub trait Task: Sync {
+    /// Short label for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of samples in the dataset.
+    fn len(&self) -> usize;
+
+    /// True when there is nothing to train on.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Parameters of the task head (the trunk's come from the shared
+    /// [`Ntt`]).
+    fn head_params(&self) -> Vec<Param>;
+
+    /// Std of the raw-unit target, for converting normalized MSE back
+    /// to task units in evaluation reports.
+    fn target_std(&self) -> f32;
+
+    /// Forward pass + mean loss over the samples at `idx`.
+    fn batch_loss<'t>(&self, tape: &'t Tape, ntt: &Ntt, idx: &[usize]) -> Var<'t>;
+}
+
+/// Masked-delay prediction (pre-training, and fine-tuning case 1).
+pub struct DelayTask<'a> {
+    head: &'a DelayHead,
+    ds: &'a DelayDataset,
+}
+
+impl<'a> DelayTask<'a> {
+    pub fn new(head: &'a DelayHead, ds: &'a DelayDataset) -> Self {
+        DelayTask { head, ds }
+    }
+}
+
+impl Task for DelayTask<'_> {
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+
+    fn len(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn head_params(&self) -> Vec<Param> {
+        self.head.params()
+    }
+
+    fn target_std(&self) -> f32 {
+        self.ds.delay_std()
+    }
+
+    fn batch_loss<'t>(&self, tape: &'t Tape, ntt: &Ntt, idx: &[usize]) -> Var<'t> {
+        let (x, y) = self.ds.batch(idx);
+        let pred = self.head.forward(tape, ntt.forward(tape, tape.input(x)));
+        pred.mse_loss(&y)
+    }
+}
+
+/// Message-completion-time regression (fine-tuning task 2); the head
+/// takes the encoded window plus the message size as a second input.
+pub struct MctTask<'a> {
+    head: &'a MctHead,
+    ds: &'a MctDataset,
+}
+
+impl<'a> MctTask<'a> {
+    pub fn new(head: &'a MctHead, ds: &'a MctDataset) -> Self {
+        MctTask { head, ds }
+    }
+}
+
+impl Task for MctTask<'_> {
+    fn name(&self) -> &'static str {
+        "mct"
+    }
+
+    fn len(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn head_params(&self) -> Vec<Param> {
+        self.head.params()
+    }
+
+    fn target_std(&self) -> f32 {
+        self.ds.mct_std()
+    }
+
+    fn batch_loss<'t>(&self, tape: &'t Tape, ntt: &Ntt, idx: &[usize]) -> Var<'t> {
+        let (x, sizes, y) = self.ds.batch(idx);
+        let enc = ntt.forward(tape, tape.input(x));
+        let pred = self.head.forward(tape, enc, tape.input(sizes));
+        pred.mse_loss(&y)
+    }
+}

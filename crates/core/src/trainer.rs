@@ -1,4 +1,4 @@
-//! Training and evaluation loops for both tasks.
+//! The task-generic, data-parallel training and evaluation engine.
 //!
 //! Implements the paper's two training regimes:
 //! * **pre-train / fine-tune** — train trunk+head on the pre-training
@@ -8,13 +8,32 @@
 //! * **from scratch** — train the full model directly on the
 //!   fine-tuning dataset (Table 2 "Full NTT").
 //!
+//! Both regimes run through one generic loop over the [`Task`] trait
+//! (delay and MCT are thin impls in [`crate::task`]).
+//!
+//! # Data parallelism and determinism
+//!
+//! Each optimizer step's batch is split into fixed-size microbatches
+//! ([`ParStrategy::microbatch`]); workers on a scoped thread pool claim
+//! shards from an atomic cursor, run forward/backward on their own
+//! [`Tape`], and return a detached
+//! [`ParamGrads`](ntt_tensor::ParamGrads) bundle. The coordinator
+//! reduces bundles **in shard-index order** and applies one
+//! [`Adam::step_with`] update — the same reorder-buffer discipline as
+//! `ntt-fleet`, so losses and parameters are **bit-identical for any
+//! thread count**. The microbatch decomposition (and therefore the
+//! numerics) depends only on `microbatch`, never on `threads`.
+//!
 //! Wall-clock time is captured in every report because training *time*
 //! is itself a result in Tables 2 and 3.
 
-use crate::model::{DelayHead, MctHead, Ntt};
-use ntt_data::{BatchIter, DelayDataset, MctDataset};
-use ntt_nn::{clip_grad_norm, Adam, LrSchedule, Module};
-use ntt_tensor::Tape;
+use crate::model::Ntt;
+use crate::task::{DelayTask, MctTask, Task};
+use ntt_data::BatchIter;
+use ntt_nn::{clip_param_grads, Adam, LrSchedule, Module};
+use ntt_tensor::{kernels, splitmix64, Param, ParamGrads, Tape};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// Which parameters fine-tuning updates.
@@ -25,6 +44,82 @@ pub enum TrainMode {
     /// Freeze the trunk, update only the task head (paper: "Decoder
     /// only", the cheap fine-tuning path enabled by pre-training).
     DecoderOnly,
+}
+
+/// How one optimizer step fans out over worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParStrategy {
+    /// Worker threads (`0` = one per available core). Results are
+    /// bit-identical for every setting — this is purely a throughput
+    /// knob.
+    pub threads: usize,
+    /// Samples per microbatch shard. This *does* define the numerics
+    /// (it fixes how the batch loss and gradients are associated in
+    /// f32), so it is independent of `threads` and defaults to
+    /// [`ParStrategy::DEFAULT_MICROBATCH`] everywhere.
+    pub microbatch: usize,
+}
+
+impl ParStrategy {
+    /// Default shard size: small enough that a batch of 32 fans out
+    /// over 4 workers, large enough to amortize per-tape overhead.
+    pub const DEFAULT_MICROBATCH: usize = 8;
+
+    /// Sequential execution (still microbatched, so numerics match the
+    /// parallel strategies exactly).
+    pub fn single() -> Self {
+        ParStrategy {
+            threads: 1,
+            microbatch: Self::DEFAULT_MICROBATCH,
+        }
+    }
+
+    /// Run on `threads` workers (`0` = one per core).
+    pub fn with_threads(threads: usize) -> Self {
+        ParStrategy {
+            threads,
+            microbatch: Self::DEFAULT_MICROBATCH,
+        }
+    }
+
+    /// Honor `NTT_THREADS` (`0` = auto, unset = sequential). Training
+    /// results do not depend on the value — only wall-clock does. An
+    /// unparsable value falls back to sequential with a warning (a
+    /// silent fallback would be invisible: the numbers are identical
+    /// either way, only hours of wall-clock differ).
+    pub fn from_env() -> Self {
+        match std::env::var("NTT_THREADS") {
+            Ok(s) => match s.parse() {
+                Ok(n) => Self::with_threads(n),
+                Err(_) => {
+                    eprintln!(
+                        "warning: NTT_THREADS={s:?} is not an integer; training runs sequentially"
+                    );
+                    Self::single()
+                }
+            },
+            Err(_) => Self::single(),
+        }
+    }
+
+    /// Worker count for `n_shards` work items.
+    fn resolve(&self, n_shards: usize) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let requested = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
+        requested.min(n_shards).max(1)
+    }
+}
+
+impl Default for ParStrategy {
+    fn default() -> Self {
+        Self::single()
+    }
 }
 
 /// Loop hyper-parameters.
@@ -40,6 +135,9 @@ pub struct TrainConfig {
     /// Optional cap on optimizer steps per epoch (quick experiment
     /// modes subsample each epoch instead of shrinking the dataset).
     pub max_steps_per_epoch: Option<usize>,
+    /// Data-parallel fan-out. The default honors `NTT_THREADS`; safe
+    /// because results are bit-identical at every thread count.
+    pub par: ParStrategy,
 }
 
 impl Default for TrainConfig {
@@ -51,6 +149,7 @@ impl Default for TrainConfig {
             clip: 1.0,
             seed: 0,
             max_steps_per_epoch: None,
+            par: ParStrategy::from_env(),
         }
     }
 }
@@ -60,6 +159,9 @@ impl Default for TrainConfig {
 pub struct TrainReport {
     /// Mean normalized training loss per epoch.
     pub epoch_losses: Vec<f64>,
+    /// Mean pre-clip global gradient L2 norm per epoch — the divergence
+    /// diagnostic (a blow-up shows here before the loss goes NaN).
+    pub grad_norms: Vec<f64>,
     pub steps: usize,
     pub wall: Duration,
     /// Number of parameters that actually received updates.
@@ -70,6 +172,11 @@ impl TrainReport {
     /// Final epoch's mean loss.
     pub fn final_loss(&self) -> f64 {
         *self.epoch_losses.last().expect("no epochs ran")
+    }
+
+    /// Final epoch's mean pre-clip gradient norm.
+    pub fn final_grad_norm(&self) -> f64 {
+        *self.grad_norms.last().expect("no epochs ran")
     }
 }
 
@@ -91,7 +198,7 @@ fn steps_of(n_samples: usize, cfg: &TrainConfig) -> usize {
 
 fn optimizer_for(
     ntt: &Ntt,
-    head_params: Vec<ntt_tensor::Param>,
+    head_params: Vec<Param>,
     cfg: &TrainConfig,
     total_steps: usize,
     mode: TrainMode,
@@ -113,165 +220,233 @@ fn optimizer_for(
     (Adam::new(params, schedule), trainable)
 }
 
-/// Train the delay task (pre-training, and fine-tuning case 1).
-pub fn train_delay(
+/// Seed combiner for the per-step and per-shard streams (one
+/// [`splitmix64`] step over a golden-ratio blend of the inputs).
+fn mix(a: u64, b: u64) -> u64 {
+    let mut state = a.wrapping_add(b.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    splitmix64(&mut state)
+}
+
+/// Run `f(0..n)` across `threads` scoped workers (atomic-cursor work
+/// stealing, as in `ntt-fleet`) and return the results **in index
+/// order**, so any subsequent reduction is deterministic regardless of
+/// completion order. `threads <= 1` degenerates to a plain loop that
+/// keeps the matmul kernels' internal row-block parallelism; with
+/// multiple workers that nesting is suppressed
+/// ([`kernels::with_sequential`]) so the machine is divided between
+/// shards instead of oversubscribed.
+fn fanout<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                kernels::with_sequential(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, f(i))).is_err() {
+                        break; // collector gone
+                    }
+                })
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("trainer worker panicked"))
+        .collect()
+}
+
+/// One optimizer step: fan the batch out as microbatches, reduce the
+/// per-shard gradient bundles in shard-index order, and return the
+/// recombined batch loss plus the reduced bundle.
+fn fanout_step(
     ntt: &Ntt,
-    head: &DelayHead,
-    ds: &DelayDataset,
-    cfg: &TrainConfig,
-    mode: TrainMode,
-) -> TrainReport {
-    assert!(!ds.is_empty(), "training on an empty dataset");
-    let steps_per_epoch = steps_of(ds.len(), cfg);
-    let (mut opt, trainable) =
-        optimizer_for(ntt, head.params(), cfg, steps_per_epoch * cfg.epochs, mode);
+    task: &dyn Task,
+    batch: &[usize],
+    step_seed: u64,
+    par: &ParStrategy,
+) -> (f64, ParamGrads) {
+    let shards: Vec<&[usize]> = batch.chunks(par.microbatch).collect();
+    let n_total = batch.len();
+    let run_shard = |si: usize| -> (f64, ParamGrads) {
+        let idx = shards[si];
+        let tape = Tape::with_seed(mix(step_seed, 1 + si as u64));
+        let mse = task.batch_loss(&tape, ntt, idx);
+        debug_assert_eq!(mse.shape(), vec![1], "batch_loss must be scalar");
+        // Weight so that Σ shard losses == the whole-batch mean loss.
+        let loss = mse.scale(idx.len() as f32 / n_total as f32);
+        let value = loss.value().item() as f64;
+        (value, tape.backward_params(loss))
+    };
+    let results = fanout(shards.len(), par.resolve(shards.len()), run_shard);
+
+    // Fixed-order reduction: shard 0 + shard 1 + ... — the gradient
+    // analogue of the fleet's reorder buffer.
+    let mut it = results.into_iter();
+    let (mut loss, mut acc) = it.next().expect("batch produced no shards");
+    for (lv, pg) in it {
+        loss += lv;
+        acc.add_assign(&pg);
+    }
+    (loss, acc)
+}
+
+/// Train `task` on `ntt` with the given mode and fan-out strategy.
+///
+/// Bit-reproducibility: for a fixed `(cfg, mode)` — including
+/// `cfg.par.microbatch` — the returned losses and the final parameters
+/// are identical for every `cfg.par.threads` setting.
+pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> TrainReport {
+    assert!(!task.is_empty(), "training on an empty dataset");
+    assert!(cfg.par.microbatch > 0, "microbatch must be positive");
+    let steps_per_epoch = steps_of(task.len(), cfg);
+    let (mut opt, trainable) = optimizer_for(
+        ntt,
+        task.head_params(),
+        cfg,
+        steps_per_epoch * cfg.epochs,
+        mode,
+    );
     ntt.set_training(true);
     let start = Instant::now();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    let mut steps = 0;
+    let mut grad_norms = Vec::with_capacity(cfg.epochs);
+    let mut steps = 0usize;
     for epoch in 0..cfg.epochs {
         let mut sum = 0.0f64;
+        let mut norm_sum = 0.0f64;
         let mut count = 0usize;
         for batch in BatchIter::new(
-            ds.len(),
+            task.len(),
             cfg.batch_size,
             cfg.seed ^ (epoch as u64) << 17,
             true,
         )
         .take(steps_per_epoch)
         {
-            let (x, y) = ds.batch(&batch);
-            let tape = Tape::new();
-            let pred = head.forward(&tape, ntt.forward(&tape, tape.input(x)));
-            let loss = pred.mse_loss(&y);
-            sum += loss.value().item() as f64;
+            let step_seed = mix(cfg.seed, steps as u64);
+            let (loss, mut grads) = fanout_step(ntt, task, &batch, step_seed, &cfg.par);
+            let pre_norm = clip_param_grads(&mut grads, cfg.clip);
+            opt.step_with(&grads);
+            sum += loss;
+            norm_sum += pre_norm as f64;
             count += 1;
-            tape.backward(loss);
-            clip_grad_norm(opt.params(), cfg.clip);
-            opt.step();
             steps += 1;
         }
         epoch_losses.push(sum / count.max(1) as f64);
+        grad_norms.push(norm_sum / count.max(1) as f64);
     }
     ntt.set_training(false);
     ntt.set_trainable(true); // leave the model unfrozen for the caller
     TrainReport {
         epoch_losses,
+        grad_norms,
         steps,
         wall: start.elapsed(),
         trainable_params: trainable,
     }
 }
 
-/// Evaluate the delay task.
-pub fn eval_delay(ntt: &Ntt, head: &DelayHead, ds: &DelayDataset, batch_size: usize) -> EvalReport {
-    assert!(!ds.is_empty(), "evaluating on an empty dataset");
+/// Evaluate `task` on `ntt` (no gradients, dropout off). Batches fan
+/// out over `par` workers; squared errors are accumulated in batch
+/// order, so the result is thread-count invariant like training.
+pub fn evaluate(ntt: &Ntt, task: &dyn Task, batch_size: usize, par: &ParStrategy) -> EvalReport {
+    assert!(!task.is_empty(), "evaluating on an empty dataset");
     ntt.set_training(false);
-    let mut se = 0.0f64;
-    let mut n = 0usize;
-    for batch in BatchIter::new(ds.len(), batch_size, 0, false) {
-        let (x, y) = ds.batch(&batch);
+    let batches: Vec<Vec<usize>> = BatchIter::new(task.len(), batch_size, 0, false).collect();
+    let run_batch = |bi: usize| -> (f64, usize) {
+        let idx = &batches[bi];
         let tape = Tape::new();
-        let pred = head.forward(&tape, ntt.forward(&tape, tape.input(x)));
-        let pv = pred.value();
-        for (p, t) in pv.data().iter().zip(y.data().iter()) {
-            let d = (*p - *t) as f64;
-            se += d * d;
-            n += 1;
-        }
+        let mse = task.batch_loss(&tape, ntt, idx);
+        (mse.value().item() as f64 * idx.len() as f64, idx.len())
+    };
+    let results = fanout(batches.len(), par.resolve(batches.len()), run_batch);
+    let (mut se, mut n) = (0.0f64, 0usize);
+    for (s, c) in results {
+        se += s;
+        n += c;
     }
     let mse_norm = se / n as f64;
-    let std = ds.delay_std() as f64;
+    let std = task.target_std() as f64;
     EvalReport {
         mse_norm,
         mse_raw: mse_norm * std * std,
         n,
     }
+}
+
+/// Train the delay task (pre-training, and fine-tuning case 1).
+pub fn train_delay(
+    ntt: &Ntt,
+    head: &crate::model::DelayHead,
+    ds: &ntt_data::DelayDataset,
+    cfg: &TrainConfig,
+    mode: TrainMode,
+) -> TrainReport {
+    train(ntt, &DelayTask::new(head, ds), cfg, mode)
+}
+
+/// Evaluate the delay task.
+pub fn eval_delay(
+    ntt: &Ntt,
+    head: &crate::model::DelayHead,
+    ds: &ntt_data::DelayDataset,
+    batch_size: usize,
+) -> EvalReport {
+    evaluate(
+        ntt,
+        &DelayTask::new(head, ds),
+        batch_size,
+        &ParStrategy::from_env(),
+    )
 }
 
 /// Train the MCT task (fine-tuning task 2).
 pub fn train_mct(
     ntt: &Ntt,
-    head: &MctHead,
-    ds: &MctDataset,
+    head: &crate::model::MctHead,
+    ds: &ntt_data::MctDataset,
     cfg: &TrainConfig,
     mode: TrainMode,
 ) -> TrainReport {
-    assert!(!ds.is_empty(), "training on an empty dataset");
-    let steps_per_epoch = steps_of(ds.len(), cfg);
-    let (mut opt, trainable) =
-        optimizer_for(ntt, head.params(), cfg, steps_per_epoch * cfg.epochs, mode);
-    ntt.set_training(true);
-    let start = Instant::now();
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    let mut steps = 0;
-    for epoch in 0..cfg.epochs {
-        let mut sum = 0.0f64;
-        let mut count = 0usize;
-        for batch in BatchIter::new(
-            ds.len(),
-            cfg.batch_size,
-            cfg.seed ^ (epoch as u64) << 17,
-            true,
-        )
-        .take(steps_per_epoch)
-        {
-            let (x, sizes, y) = ds.batch(&batch);
-            let tape = Tape::new();
-            let enc = ntt.forward(&tape, tape.input(x));
-            let pred = head.forward(&tape, enc, tape.input(sizes));
-            let loss = pred.mse_loss(&y);
-            sum += loss.value().item() as f64;
-            count += 1;
-            tape.backward(loss);
-            clip_grad_norm(opt.params(), cfg.clip);
-            opt.step();
-            steps += 1;
-        }
-        epoch_losses.push(sum / count.max(1) as f64);
-    }
-    ntt.set_training(false);
-    ntt.set_trainable(true);
-    TrainReport {
-        epoch_losses,
-        steps,
-        wall: start.elapsed(),
-        trainable_params: trainable,
-    }
+    train(ntt, &MctTask::new(head, ds), cfg, mode)
 }
 
 /// Evaluate the MCT task (raw units: ln(seconds)²).
-pub fn eval_mct(ntt: &Ntt, head: &MctHead, ds: &MctDataset, batch_size: usize) -> EvalReport {
-    assert!(!ds.is_empty(), "evaluating on an empty dataset");
-    ntt.set_training(false);
-    let mut se = 0.0f64;
-    let mut n = 0usize;
-    for batch in BatchIter::new(ds.len(), batch_size, 0, false) {
-        let (x, sizes, y) = ds.batch(&batch);
-        let tape = Tape::new();
-        let enc = ntt.forward(&tape, tape.input(x));
-        let pred = head.forward(&tape, enc, tape.input(sizes));
-        let pv = pred.value();
-        for (p, t) in pv.data().iter().zip(y.data().iter()) {
-            let d = (*p - *t) as f64;
-            se += d * d;
-            n += 1;
-        }
-    }
-    let mse_norm = se / n as f64;
-    let std = ds.mct_std() as f64;
-    EvalReport {
-        mse_norm,
-        mse_raw: mse_norm * std * std,
-        n,
-    }
+pub fn eval_mct(
+    ntt: &Ntt,
+    head: &crate::model::MctHead,
+    ds: &ntt_data::MctDataset,
+    batch_size: usize,
+) -> EvalReport {
+    evaluate(
+        ntt,
+        &MctTask::new(head, ds),
+        batch_size,
+        &ParStrategy::from_env(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{Aggregation, NttConfig};
-    use ntt_data::{DatasetConfig, TraceData};
+    use crate::model::{DelayHead, MctHead};
+    use ntt_data::{DatasetConfig, DelayDataset, MctDataset, TraceData};
     use ntt_sim::scenarios::{run, Scenario, ScenarioConfig};
     use std::sync::Arc;
 
@@ -324,6 +499,41 @@ mod tests {
         );
         assert!(report.steps <= 16);
         assert!(report.wall.as_nanos() > 0);
+        assert_eq!(report.grad_norms.len(), 2);
+        assert!(
+            report.grad_norms.iter().all(|&n| n.is_finite() && n > 0.0),
+            "grad-norm trace must be usable as a divergence diagnostic: {:?}",
+            report.grad_norms
+        );
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        // The core determinism contract, on the tiny model: any thread
+        // count produces bit-identical losses and parameters. (The full
+        // 1-vs-4-thread mirror of `fleet_determinism` lives in
+        // tests/determinism.rs; this keeps a fast in-crate guard.)
+        let run_with = |threads: usize| {
+            let (ntt, head, _) = tiny_model();
+            let (train, _, _) = tiny_datasets();
+            let cfg = TrainConfig {
+                par: ParStrategy::with_threads(threads),
+                ..quick_cfg()
+            };
+            let report = train_delay(&ntt, &head, &train, &cfg, TrainMode::Full);
+            let params: Vec<Vec<u32>> = ntt
+                .params()
+                .iter()
+                .chain(head.params().iter())
+                .map(|p| p.value().data().iter().map(|v| v.to_bits()).collect())
+                .collect();
+            (report.epoch_losses, report.grad_norms, params)
+        };
+        let a = run_with(1);
+        let b = run_with(3);
+        assert_eq!(a.0, b.0, "epoch losses must be bit-identical");
+        assert_eq!(a.1, b.1, "grad norms must be bit-identical");
+        assert_eq!(a.2, b.2, "final parameters must be bit-identical");
     }
 
     #[test]
@@ -364,19 +574,64 @@ mod tests {
         let (_, _, mct) = tiny_datasets();
         let report = train_mct(&ntt, &head, &mct, &quick_cfg(), TrainMode::Full);
         assert!(report.final_loss().is_finite());
+        assert!(report.final_grad_norm().is_finite());
         let ev = eval_mct(&ntt, &head, &mct, 16);
         assert!(ev.mse_raw.is_finite() && ev.mse_raw > 0.0);
+    }
+
+    /// Shared Task-trait conformance check: every impl must satisfy the
+    /// engine's contract (scalar mean loss, gradient flow into both the
+    /// head and — when unfrozen — the trunk).
+    fn assert_task_conforms(task: &dyn Task, ntt: &Ntt) {
+        assert!(!task.name().is_empty());
+        assert!(task.len() >= 4 && !task.is_empty());
+        assert!(task.target_std() > 0.0, "{}: target std", task.name());
+        let head_params = task.head_params();
+        assert!(!head_params.is_empty(), "{}: no head params", task.name());
+
+        let idx: Vec<usize> = (0..task.len().min(4)).collect();
+        let tape = Tape::with_seed(5);
+        let loss = task.batch_loss(&tape, ntt, &idx);
+        assert_eq!(loss.shape(), vec![1], "{}: loss not scalar", task.name());
+        assert!(loss.value().item().is_finite(), "{}: loss", task.name());
+        let bundle = tape.backward_params(loss);
+        for p in &head_params {
+            assert!(
+                bundle.get(p).is_some(),
+                "{}: no gradient reached head param {}",
+                task.name(),
+                p.name()
+            );
+        }
+        let trunk_covered = ntt.params().iter().all(|p| bundle.get(p).is_some());
+        assert!(trunk_covered, "{}: trunk params missed", task.name());
+
+        // The same microbatch must reproduce bit-identically (purity in
+        // indices + tape seed — what the parallel engine relies on).
+        let tape2 = Tape::with_seed(5);
+        let loss2 = task.batch_loss(&tape2, ntt, &idx);
+        assert_eq!(
+            loss.value().item(),
+            loss2.value().item(),
+            "{}: batch_loss is not a pure function of (params, idx, seed)",
+            task.name()
+        );
+    }
+
+    #[test]
+    fn delay_and_mct_tasks_conform() {
+        let (ntt, head, mct_head) = tiny_model();
+        let (train, _, mct) = tiny_datasets();
+        assert_task_conforms(&crate::task::DelayTask::new(&head, &train), &ntt);
+        assert_task_conforms(&crate::task::MctTask::new(&mct_head, &mct), &ntt);
     }
 
     #[test]
     #[should_panic(expected = "empty dataset")]
     fn training_on_empty_dataset_is_an_error() {
         let (ntt, head, _) = tiny_model();
-        let (train, _, _) = tiny_datasets();
-        let empty = train.subsample(0.0, 0); // rounds up to 1... so force:
-                                             // subsample(0.0) keeps at least one sample by design; build a
-                                             // genuinely empty dataset via an impossible window length.
-        drop(empty);
+        // A genuinely empty dataset: no run is long enough to yield a
+        // single window.
         let traces = vec![run(Scenario::Pretrain, &ScenarioConfig::tiny(32))];
         let data = TraceData::from_traces(&traces);
         let cfg = DatasetConfig {

@@ -6,12 +6,12 @@ pub use ntt_sim::scenarios::{Scenario, ScenarioConfig};
 /// SplitMix64 finalizer — a bijection on `u64`, used to decorrelate
 /// per-shard seeds. Because it is a bijection, distinct inputs always
 /// produce distinct outputs, which is what makes [`SeedSchedule::Mixed`]
-/// collision-free by construction.
+/// collision-free by construction. By-value convenience over the one
+/// shared mixing routine ([`ntt_tensor::splitmix64`]), so fleet seed
+/// schedules and trainer/dropout streams can never silently diverge.
 pub fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
+    let mut state = x;
+    ntt_tensor::splitmix64(&mut state)
 }
 
 /// How the per-shard seed is derived from `(base_seed, shard ordinal)`.

@@ -4,45 +4,61 @@
 //! no gradient flows into the randomness. Uses inverted scaling
 //! (kept activations are multiplied by `1/(1-p)`) so evaluation needs no
 //! rescaling.
+//!
+//! Randomness comes from the **tape's** deterministic RNG stream
+//! ([`ntt_tensor::Tape::rng_next`]), salted per layer, rather than from
+//! mutable layer state. That keeps the layer `Sync` (data-parallel
+//! workers share one model across threads) and makes every forward pass
+//! a pure function of `(tape seed, call order, layer salt)` — the
+//! property the trainer's bit-reproducibility contract rests on.
 
-use ntt_tensor::{Tensor, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ntt_tensor::{splitmix64, Tensor, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Dropout layer with explicit train/eval state and its own RNG stream.
+/// Dropout layer with explicit train/eval state and a per-layer salt
+/// decorrelating its masks from sibling layers on the same tape.
 pub struct Dropout {
     p: f32,
-    rng: std::cell::RefCell<StdRng>,
-    training: std::cell::Cell<bool>,
+    salt: u64,
+    training: AtomicBool,
 }
 
 impl Dropout {
-    /// Dropout with probability `p` of zeroing each activation.
+    /// Dropout with probability `p` of zeroing each activation. `seed`
+    /// salts this layer's masks within a tape's stream.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
         Dropout {
             p,
-            rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed)),
-            training: std::cell::Cell::new(true),
+            salt: seed,
+            training: AtomicBool::new(true),
         }
     }
 
     /// Enable or disable dropout (disabled = identity).
     pub fn set_training(&self, training: bool) {
-        self.training.set(training);
+        self.training.store(training, Ordering::Relaxed);
     }
 
     /// Apply on the tape.
     pub fn forward<'t>(&self, x: Var<'t>) -> Var<'t> {
-        if !self.training.get() || self.p == 0.0 {
+        if !self.training.load(Ordering::Relaxed) || self.p == 0.0 {
             return x;
         }
         let shape = x.shape();
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mut rng = self.rng.borrow_mut();
+        let mut state = x.tape().rng_next() ^ self.salt;
         let mask: Vec<f32> = (0..shape.iter().product::<usize>())
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                // Top 24 bits -> uniform [0, 1).
+                let u = (splitmix64(&mut state) >> 40) as f32 / (1u32 << 24) as f32;
+                if u < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         x.mul_const(&Tensor::from_vec(mask, &shape))
     }
@@ -81,5 +97,52 @@ mod tests {
         let frac = zeros as f32 / 20_000.0;
         assert!((frac - 0.3).abs() < 0.02, "zero fraction {frac}");
         assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn masks_are_a_pure_function_of_tape_seed() {
+        let d = Dropout::new(0.5, 7);
+        let t = Tensor::ones(&[64]);
+        let one = |seed: u64| {
+            let tape = Tape::with_seed(seed);
+            d.forward(tape.input(t.clone())).value()
+        };
+        assert_eq!(one(9), one(9), "same seed, same mask");
+        assert_ne!(one(9), one(10), "different seeds decorrelate");
+        // Two draws on one tape advance the stream (fresh masks).
+        let tape = Tape::with_seed(9);
+        let a = d.forward(tape.input(t.clone())).value();
+        let b = d.forward(tape.input(t.clone())).value();
+        assert_ne!(a, b, "stream must advance between forwards");
+    }
+
+    #[test]
+    fn fresh_unseeded_tapes_draw_fresh_masks() {
+        // The ad-hoc training pattern — a new `Tape::new()` per step —
+        // must keep sampling fresh masks (a fixed mask would silently
+        // turn dropout into static sparsification).
+        let d = Dropout::new(0.5, 11);
+        let t = Tensor::ones(&[64]);
+        let a = {
+            let tape = Tape::new();
+            d.forward(tape.input(t.clone())).value()
+        };
+        let b = {
+            let tape = Tape::new();
+            d.forward(tape.input(t)).value()
+        };
+        assert_ne!(a, b, "per-step tapes must not repeat masks");
+    }
+
+    #[test]
+    fn sibling_layers_are_decorrelated() {
+        let a = Dropout::new(0.5, 1);
+        let b = Dropout::new(0.5, 2);
+        let t = Tensor::ones(&[64]);
+        let tape_a = Tape::with_seed(3);
+        let tape_b = Tape::with_seed(3);
+        let ya = a.forward(tape_a.input(t.clone())).value();
+        let yb = b.forward(tape_b.input(t)).value();
+        assert_ne!(ya, yb, "salt must decorrelate layers");
     }
 }

@@ -40,6 +40,6 @@ pub use linear::Linear;
 pub use mlp::Mlp;
 pub use module::Module;
 pub use norm::LayerNorm;
-pub use optim::{clip_grad_norm, Adam, LrSchedule, Sgd};
+pub use optim::{clip_grad_norm, clip_param_grads, Adam, LrSchedule, Sgd};
 pub use positional::PositionalEncoding;
 pub use transformer::{EncoderConfig, NormPlacement, TransformerEncoder, TransformerEncoderLayer};

@@ -1,6 +1,6 @@
 //! Optimizers, learning-rate schedules, and gradient clipping.
 
-use ntt_tensor::{Param, Tensor};
+use ntt_tensor::{Param, ParamGrads, Tensor};
 use std::collections::HashMap;
 
 /// Learning-rate schedule, evaluated per optimizer step.
@@ -69,12 +69,23 @@ pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
             if !p.is_trainable() {
                 continue;
             }
-            p.update(|_, _| {});
             // scale the stored gradient in place
             let g = p.grad().map(|x| x * scale);
             p.zero_grad();
             p.accumulate_grad(&g);
         }
+    }
+    norm
+}
+
+/// [`clip_grad_norm`] for a reduced [`ParamGrads`] bundle (the
+/// data-parallel trainer's path: gradients never live in the `Param`
+/// slots, so clipping operates on the bundle itself). Returns the
+/// pre-clip global L2 norm.
+pub fn clip_param_grads(grads: &mut ParamGrads, max_norm: f32) -> f32 {
+    let norm = grads.global_norm();
+    if norm > max_norm && norm > 0.0 {
+        grads.scale(max_norm / norm);
     }
     norm
 }
@@ -129,44 +140,110 @@ impl Adam {
         &self.params
     }
 
-    /// Apply one update from accumulated gradients, then zero them.
-    pub fn step(&mut self) {
+    /// Advance the step counter; returns `(lr, bias corrections)`.
+    fn begin_step(&mut self) -> (f32, f32, f32) {
         let lr = self.schedule.at(self.step);
         self.step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        (lr, bc1, bc2)
+    }
+
+    /// Apply one update from the per-`Param` gradient slots, then zero
+    /// them (the single-threaded path).
+    pub fn step(&mut self) {
+        let (lr, bc1, bc2) = self.begin_step();
         for p in &self.params {
             if !p.is_trainable() {
                 p.zero_grad();
                 continue;
             }
-            let key = p.key();
             let g = p.grad();
-            let (m, v) = self
-                .state
-                .entry(key)
-                .or_insert_with(|| (Tensor::zeros(g.shape()), Tensor::zeros(g.shape())));
-            for ((mi, vi), gi) in m
-                .data_mut()
-                .iter_mut()
-                .zip(v.data_mut().iter_mut())
-                .zip(g.data().iter())
-            {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
-            }
-            let (beta_eps, wd) = (self.eps, self.weight_decay);
-            let (md, vd) = (m.data(), v.data());
-            p.update(|value, _| {
-                for (i, val) in value.data_mut().iter_mut().enumerate() {
-                    let mhat = md[i] / bc1;
-                    let vhat = vd[i] / bc2;
-                    *val -= lr * (mhat / (vhat.sqrt() + beta_eps) + wd * *val);
-                }
-            });
+            adam_apply(
+                &mut self.state,
+                AdamHyper {
+                    beta1: self.beta1,
+                    beta2: self.beta2,
+                    eps: self.eps,
+                    weight_decay: self.weight_decay,
+                },
+                p,
+                &g,
+                (lr, bc1, bc2),
+            );
             p.zero_grad();
         }
     }
+
+    /// Apply one update from a reduced [`ParamGrads`] bundle (the
+    /// data-parallel path). The `Param` gradient slots are neither read
+    /// nor written: gradients live only in the bundle, so there is
+    /// nothing to zero afterwards. Parameters managed by this optimizer
+    /// but absent from the bundle (frozen, or not on this step's tape)
+    /// are left untouched, preserving their moments exactly as the
+    /// slot-based path does.
+    pub fn step_with(&mut self, grads: &ParamGrads) {
+        let (lr, bc1, bc2) = self.begin_step();
+        for (p, g) in grads.iter() {
+            if !p.is_trainable() {
+                continue;
+            }
+            adam_apply(
+                &mut self.state,
+                AdamHyper {
+                    beta1: self.beta1,
+                    beta2: self.beta2,
+                    eps: self.eps,
+                    weight_decay: self.weight_decay,
+                },
+                p,
+                g,
+                (lr, bc1, bc2),
+            );
+        }
+    }
+}
+
+/// Adam's Copy hyper-parameters, bundled so the update helper can
+/// borrow the moment state mutably while the param list stays borrowed.
+#[derive(Clone, Copy)]
+struct AdamHyper {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+}
+
+/// Moment update + parameter write for one `(param, grad)` pair;
+/// `sched` is `(lr, bias correction 1, bias correction 2)`.
+fn adam_apply(
+    state: &mut HashMap<usize, (Tensor, Tensor)>,
+    h: AdamHyper,
+    p: &Param,
+    g: &Tensor,
+    sched: (f32, f32, f32),
+) {
+    let (lr, bc1, bc2) = sched;
+    let (m, v) = state
+        .entry(p.key())
+        .or_insert_with(|| (Tensor::zeros(g.shape()), Tensor::zeros(g.shape())));
+    for ((mi, vi), gi) in m
+        .data_mut()
+        .iter_mut()
+        .zip(v.data_mut().iter_mut())
+        .zip(g.data().iter())
+    {
+        *mi = h.beta1 * *mi + (1.0 - h.beta1) * gi;
+        *vi = h.beta2 * *vi + (1.0 - h.beta2) * gi * gi;
+    }
+    let (md, vd) = (m.data(), v.data());
+    p.update(|value, _| {
+        for (i, val) in value.data_mut().iter_mut().enumerate() {
+            let mhat = md[i] / bc1;
+            let vhat = vd[i] / bc2;
+            *val -= lr * (mhat / (vhat.sqrt() + h.eps) + h.weight_decay * *val);
+        }
+    });
 }
 
 /// Plain SGD with optional momentum — the simple baseline optimizer.
@@ -315,6 +392,51 @@ mod tests {
         q.accumulate_grad(&Tensor::from_vec(vec![0.5], &[1]));
         clip_grad_norm(std::slice::from_ref(&q), 1.0);
         assert!((q.grad().item() - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn step_with_bundle_matches_slot_path_bitwise() {
+        // Same model, same gradient, two delivery mechanisms: the
+        // reduced-bundle path must produce bit-identical parameters.
+        let mk = || Param::new("w", Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]));
+        let (a, b) = (mk(), mk());
+        let mut opt_a = Adam::new(vec![a.clone()], LrSchedule::Constant(0.05));
+        let mut opt_b = Adam::new(vec![b.clone()], LrSchedule::Constant(0.05));
+        for _ in 0..5 {
+            // Slot path.
+            let tape = Tape::new();
+            let loss = tape.param(&a).mse_loss(&Tensor::full(&[3], 3.0));
+            tape.backward(loss);
+            opt_a.step();
+            // Bundle path.
+            let tape = Tape::new();
+            let loss = tape.param(&b).mse_loss(&Tensor::full(&[3], 3.0));
+            let bundle = tape.backward_params(loss);
+            opt_b.step_with(&bundle);
+            assert_eq!(a.value(), b.value());
+            assert_eq!(b.grad().data(), &[0.0; 3], "bundle path leaves slots clean");
+        }
+        assert_eq!(opt_a.steps(), opt_b.steps());
+    }
+
+    #[test]
+    fn clip_param_grads_matches_slot_clipping() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        let tape = Tape::new();
+        // loss with a known large gradient
+        let loss = tape
+            .param(&p)
+            .add_scalar(10.0)
+            .mse_loss(&Tensor::zeros(&[3]));
+        let mut bundle = tape.backward_params(loss.scale(100.0));
+        let pre = clip_param_grads(&mut bundle, 1.0);
+        assert!(pre > 1.0);
+        assert!((bundle.global_norm() - 1.0).abs() < 1e-5);
+        // Below the threshold: untouched.
+        let n_before = bundle.global_norm();
+        let pre2 = clip_param_grads(&mut bundle, 5.0);
+        assert_eq!(pre2, n_before);
+        assert_eq!(bundle.global_norm(), n_before);
     }
 
     #[test]

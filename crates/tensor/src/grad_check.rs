@@ -44,15 +44,38 @@ pub fn check_param_grad(
     eps: f32,
     f: impl Fn(&Tape) -> crate::Var<'_>,
 ) -> GradCheckReport {
-    // Analytic gradient.
+    // Every pass (analytic, bundle, finite differences) runs on a tape
+    // with the same fixed seed: a stochastic graph (one drawing from
+    // the tape RNG) then sees identical masks throughout, so the checks
+    // compare gradients of the *same* function.
+    const SEED: u64 = 0x67ad_c43c;
+
+    // Analytic gradient, via the deposit path.
     param.zero_grad();
     {
-        let tape = Tape::new();
+        let tape = Tape::with_seed(SEED);
         let loss = f(&tape);
         assert_eq!(loss.shape(), vec![1], "grad check requires scalar loss");
         tape.backward(loss);
     }
     let analytic = param.grad();
+
+    // The detached-bundle path (worker-thread half of data-parallel
+    // training) must agree bit-for-bit with the deposited slots.
+    {
+        let tape = Tape::with_seed(SEED);
+        let loss = f(&tape);
+        let bundle = tape.backward_params(loss);
+        let from_bundle = bundle
+            .get(param)
+            .expect("param missing from gradient bundle");
+        assert_eq!(
+            from_bundle,
+            &analytic,
+            "backward_params diverged from backward for {}",
+            param.name()
+        );
+    }
 
     // Numeric gradient, one coordinate at a time.
     let base = param.value();
@@ -64,14 +87,14 @@ pub fn check_param_grad(
         plus.data_mut()[i] += eps;
         param.set_value(plus);
         let lp = {
-            let tape = Tape::new();
+            let tape = Tape::with_seed(SEED);
             f(&tape).value().item()
         };
         let mut minus = base.clone();
         minus.data_mut()[i] -= eps;
         param.set_value(minus);
         let lm = {
-            let tape = Tape::new();
+            let tape = Tape::with_seed(SEED);
             f(&tape).value().item()
         };
         let numeric = (lp - lm) / (2.0 * eps);

@@ -18,9 +18,32 @@
 /// the spawn overhead dominates.
 pub const PAR_THRESHOLD: usize = 1 << 18;
 
+std::thread_local! {
+    /// When set, kernels on this thread never spawn row-block threads.
+    /// The data-parallel trainer sets it on its workers: parallelism
+    /// then comes from microbatch shards, and nesting gemm threads
+    /// underneath would oversubscribe the cores.
+    static SEQUENTIAL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with this thread's kernels forced sequential (restored on
+/// exit, panic included). Results are bit-identical either way — the
+/// row partition assigns every output element to exactly one thread
+/// with an unchanged inner loop — so this is purely a scheduling knob.
+pub fn with_sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SEQUENTIAL.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SEQUENTIAL.with(|s| s.replace(true)));
+    f()
+}
+
 fn par_rows(m: usize, work_per_row: usize) -> usize {
     let total = m * work_per_row;
-    if total < PAR_THRESHOLD {
+    if total < PAR_THRESHOLD || SEQUENTIAL.with(|s| s.get()) {
         return 1;
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());

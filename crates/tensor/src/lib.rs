@@ -38,5 +38,5 @@ mod tape;
 mod tensor;
 
 pub use param::Param;
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{splitmix64, Gradients, ParamGrads, Tape, Var};
 pub use tensor::Tensor;

@@ -1,16 +1,18 @@
 //! Trainable parameters.
 //!
 //! A [`Param`] is a shared, named tensor with an accompanying gradient
-//! accumulator. The tape holds clones of the `Rc` so that `backward`
+//! accumulator. The tape holds clones of the handle so that `backward`
 //! can deposit gradients directly into the parameter, and optimizers
-//! iterate over the same handles to apply updates. Training is
-//! single-threaded by design (matmul kernels parallelize internally),
-//! so `Rc<RefCell<..>>` is the honest tool — no atomics pretending
-//! otherwise.
+//! iterate over the same handles to apply updates. Storage is
+//! `Arc<RwLock<..>>` so parameter sets are `Send + Sync`: the
+//! data-parallel trainer shares one model across worker threads, each
+//! running its own forward/backward over a microbatch. Workers only
+//! *read* values (gradient reduction happens in a fixed order on the
+//! coordinating thread via `ParamGrads`), so the lock is effectively
+//! uncontended on the hot path.
 
 use crate::Tensor;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 #[derive(Debug)]
 struct ParamInner {
@@ -23,15 +25,16 @@ struct ParamInner {
     trainable: bool,
 }
 
-/// Shared handle to a trainable tensor.
+/// Shared handle to a trainable tensor (`Send + Sync`; clones share
+/// storage and identity).
 #[derive(Clone, Debug)]
-pub struct Param(Rc<RefCell<ParamInner>>);
+pub struct Param(Arc<RwLock<ParamInner>>);
 
 impl Param {
     /// Create a parameter initialized to `value`.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape());
-        Param(Rc::new(RefCell::new(ParamInner {
+        Param(Arc::new(RwLock::new(ParamInner {
             name: name.into(),
             value,
             grad,
@@ -39,34 +42,45 @@ impl Param {
         })))
     }
 
+    /// Read lock, tolerating poison: a panic mid-update in another
+    /// thread (e.g. a failed shape assert under test) must not cascade
+    /// into every later accessor.
+    fn read(&self) -> RwLockReadGuard<'_, ParamInner> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, ParamInner> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Parameter name (used in checkpoints and diagnostics).
     pub fn name(&self) -> String {
-        self.0.borrow().name.clone()
+        self.read().name.clone()
     }
 
     /// Clone of the current value.
     pub fn value(&self) -> Tensor {
-        self.0.borrow().value.clone()
+        self.read().value.clone()
     }
 
     /// Shape of the value.
     pub fn shape(&self) -> Vec<usize> {
-        self.0.borrow().value.shape().to_vec()
+        self.read().value.shape().to_vec()
     }
 
     /// Number of scalar parameters.
     pub fn numel(&self) -> usize {
-        self.0.borrow().value.numel()
+        self.read().value.numel()
     }
 
     /// Clone of the accumulated gradient.
     pub fn grad(&self) -> Tensor {
-        self.0.borrow().grad.clone()
+        self.read().grad.clone()
     }
 
     /// Replace the value (e.g. when loading a checkpoint).
     pub fn set_value(&self, value: Tensor) {
-        let mut inner = self.0.borrow_mut();
+        let mut inner = self.write();
         assert_eq!(
             inner.value.shape(),
             value.shape(),
@@ -78,7 +92,7 @@ impl Param {
 
     /// Add `g` into the gradient accumulator (no-op when frozen).
     pub fn accumulate_grad(&self, g: &Tensor) {
-        let mut inner = self.0.borrow_mut();
+        let mut inner = self.write();
         if inner.trainable {
             inner.grad.add_assign(g);
         }
@@ -86,35 +100,35 @@ impl Param {
 
     /// Reset the gradient to zero.
     pub fn zero_grad(&self) {
-        self.0.borrow_mut().grad.zero_();
+        self.write().grad.zero_();
     }
 
     /// Whether optimizers should update this parameter.
     pub fn is_trainable(&self) -> bool {
-        self.0.borrow().trainable
+        self.read().trainable
     }
 
     /// Freeze or unfreeze the parameter.
     pub fn set_trainable(&self, trainable: bool) {
-        self.0.borrow_mut().trainable = trainable;
+        self.write().trainable = trainable;
     }
 
     /// Mutate value and gradient together (the optimizer update hook).
     pub fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
-        let inner = &mut *self.0.borrow_mut();
+        let inner = &mut *self.write();
         f(&mut inner.value, &inner.grad);
     }
 
     /// Stable identity for optimizer state maps (two clones of the same
     /// `Param` compare equal).
     pub fn key(&self) -> usize {
-        Rc::as_ptr(&self.0) as usize
+        Arc::as_ptr(&self.0) as usize
     }
 }
 
 impl PartialEq for Param {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 impl Eq for Param {}
@@ -174,5 +188,21 @@ mod tests {
     fn set_value_checks_shape() {
         let p = Param::new("w", Tensor::zeros(&[2]));
         p.set_value(Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn params_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Param>();
+        // Shared reads from another thread observe the same storage.
+        let p = Param::new("w", Tensor::from_vec(vec![7.0], &[1]));
+        let q = p.clone();
+        std::thread::spawn(move || {
+            assert_eq!(q.value().data(), &[7.0]);
+            q.accumulate_grad(&Tensor::ones(&[1]));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(p.grad().data(), &[1.0]);
     }
 }

@@ -2,10 +2,22 @@
 //!
 //! A [`Tape`] records every operation of one forward pass as a node in a
 //! flat arena; [`Var`] is a copyable handle (tape reference + node index).
-//! [`Tape::backward`] walks the arena in reverse, propagating gradients
-//! and depositing them into [`Param`]s. One tape lives for one training
-//! step and is dropped afterwards — there is no graph reuse, no aliasing,
-//! and therefore no cache-invalidation subtlety.
+//! Backward comes in two halves so the data-parallel trainer can run
+//! microbatches on worker threads:
+//! * [`Tape::backward_params`] walks the arena in reverse and *collects*
+//!   per-parameter gradients into a [`ParamGrads`] bundle without
+//!   touching any `Param` — the bundle is `Send`, so worker threads can
+//!   produce one per microbatch and the coordinator reduces them in a
+//!   fixed shard-index order (bit-identical for any thread count);
+//! * [`Tape::backward`] is the single-threaded convenience that collects
+//!   and immediately deposits into the [`Param`] gradient slots.
+//!
+//! One tape lives for one microbatch and is dropped afterwards — there
+//! is no graph reuse, no aliasing, and therefore no cache-invalidation
+//! subtlety. Each tape also carries a deterministic RNG stream
+//! ([`Tape::with_seed`], [`Tape::rng_next`]) that stochastic layers
+//! (dropout) draw from, so a microbatch's forward pass is a pure
+//! function of its inputs and seed regardless of which thread runs it.
 //!
 //! The op set is exactly what the Network Traffic Transformer needs
 //! (linear algebra, attention plumbing, sequence slicing for the
@@ -15,7 +27,28 @@
 
 use crate::shape::{self, Broadcast};
 use crate::{kernels, Param, Tensor};
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+/// The single mixing routine shared by the tape stream, dropout masks,
+/// and the trainer's per-(step, shard) seed derivation — the
+/// determinism contract depends on these never diverging.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    *state = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seed sequence for tapes created without an explicit seed: a fresh
+/// value per tape, so ad-hoc training loops (`Tape::new()` per step)
+/// draw fresh dropout masks each step — matching the old
+/// per-layer-RNG behavior — while staying deterministic for
+/// single-threaded callers (creation order is the only input).
+static NEXT_TAPE_SEED: AtomicU64 = AtomicU64::new(0x7a9e_5eed);
 
 /// Operation recorded on the tape. Indices refer to earlier nodes.
 enum Op {
@@ -80,9 +113,16 @@ struct Node {
 }
 
 /// Arena of recorded operations for one forward pass.
-#[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    /// SplitMix64 state for the tape-local RNG stream (dropout masks).
+    rng: Cell<u64>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Handle to a value on a tape.
@@ -101,6 +141,99 @@ impl Gradients {
     /// Gradient of `v`'s node, if it participated in the loss.
     pub fn get(&self, v: Var<'_>) -> Option<&Tensor> {
         self.grads.get(v.id).and_then(|g| g.as_ref())
+    }
+}
+
+/// Per-parameter gradients of one backward pass, detached from the tape.
+///
+/// Produced by [`Tape::backward_params`] on any thread (`Send + Sync`),
+/// reduced across microbatches with [`ParamGrads::add_assign`] /
+/// [`ParamGrads::reduce`], and finally consumed by an optimizer. Entries
+/// are kept in a deterministic tape-derived order (reverse-walk
+/// encounter order), which is identical across microbatches of the same
+/// model — so a fixed-order reduction is bit-reproducible for any
+/// thread count. Frozen (non-trainable) parameters are skipped, exactly
+/// as [`Param::accumulate_grad`] would.
+pub struct ParamGrads {
+    entries: Vec<(Param, Tensor)>,
+}
+
+impl ParamGrads {
+    /// Number of parameters that received a gradient.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no trainable parameter participated in the loss.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(param, gradient)` pairs in deterministic tape order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Param, &Tensor)> {
+        self.entries.iter().map(|(p, g)| (p, g))
+    }
+
+    /// Gradient recorded for `p`, if any.
+    pub fn get(&self, p: &Param) -> Option<&Tensor> {
+        self.entries.iter().find(|(q, _)| q == p).map(|(_, g)| g)
+    }
+
+    /// Elementwise `self += rhs`. The right-hand bundle must cover the
+    /// same parameters in the same order (it always does when both came
+    /// from microbatches of one model); anything else is a caller bug.
+    pub fn add_assign(&mut self, rhs: &ParamGrads) {
+        assert_eq!(
+            self.entries.len(),
+            rhs.entries.len(),
+            "reducing gradient bundles of different models"
+        );
+        for ((pa, ga), (pb, gb)) in self.entries.iter_mut().zip(rhs.entries.iter()) {
+            assert!(pa == pb, "gradient bundle parameter order diverged");
+            ga.add_assign(gb);
+        }
+    }
+
+    /// Sum bundles in iteration order (shard-index order for the
+    /// data-parallel trainer). Returns `None` for an empty iterator.
+    pub fn reduce(shards: impl IntoIterator<Item = ParamGrads>) -> Option<ParamGrads> {
+        let mut it = shards.into_iter();
+        let mut acc = it.next()?;
+        for shard in it {
+            acc.add_assign(&shard);
+        }
+        Some(acc)
+    }
+
+    /// Scale every gradient by `c` (gradient clipping / loss weighting).
+    pub fn scale(&mut self, c: f32) {
+        for (_, g) in &mut self.entries {
+            for v in g.data_mut() {
+                *v *= c;
+            }
+        }
+    }
+
+    /// Global L2 norm over all entries, accumulated in f64. (Slot-based
+    /// `clip_grad_norm` also sums in f64 but groups per parameter, so
+    /// the two paths agree to f64 rounding, not necessarily to the last
+    /// ULP on multi-parameter models.)
+    pub fn global_norm(&self) -> f32 {
+        let sq: f64 = self
+            .entries
+            .iter()
+            .flat_map(|(_, g)| g.data())
+            .map(|&x| (x as f64) * (x as f64))
+            .sum();
+        sq.sqrt() as f32
+    }
+
+    /// Deposit every gradient into its parameter's accumulator slot
+    /// (the bridge back to the slot-based optimizer path).
+    pub fn apply(&self) {
+        for (p, g) in &self.entries {
+            p.accumulate_grad(g);
+        }
     }
 }
 
@@ -136,9 +269,30 @@ fn softmax_last(x: &Tensor) -> Tensor {
 }
 
 impl Tape {
-    /// Fresh, empty tape.
+    /// Fresh, empty tape with a process-unique RNG seed (see
+    /// [`NEXT_TAPE_SEED`]). Use [`Tape::with_seed`] when the stream
+    /// must be reproducible across runs and threads.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_seed(NEXT_TAPE_SEED.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Fresh tape whose RNG stream starts at `seed`. The data-parallel
+    /// trainer derives one seed per `(step, microbatch)` so stochastic
+    /// layers are reproducible independent of thread scheduling.
+    pub fn with_seed(seed: u64) -> Self {
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+            rng: Cell::new(seed),
+        }
+    }
+
+    /// Next value of the tape-local SplitMix64 stream. Deterministic in
+    /// the seed and the sequence of calls (tapes are single-threaded).
+    pub fn rng_next(&self) -> u64 {
+        let mut state = self.rng.get();
+        let z = splitmix64(&mut state);
+        self.rng.set(state);
+        z
     }
 
     /// Number of recorded nodes (diagnostic).
@@ -175,28 +329,69 @@ impl Tape {
     }
 
     /// Run reverse-mode differentiation from `loss` (any shape; the seed
-    /// gradient is all-ones) and deposit parameter gradients.
+    /// gradient is all-ones) and deposit parameter gradients directly
+    /// into the `Param` accumulator slots (no intermediate bundle — the
+    /// zero-allocation single-threaded path).
     pub fn backward(&self, loss: Var<'_>) -> Gradients {
+        self.backward_walk(loss, &mut |p: &Param, g: &Tensor| p.accumulate_grad(g))
+    }
+
+    /// Run reverse-mode differentiation and *collect* per-parameter
+    /// gradients into a detached [`ParamGrads`] bundle, leaving every
+    /// `Param` untouched. This is the worker-thread half of the
+    /// data-parallel trainer: each microbatch produces one bundle, and
+    /// the coordinator reduces them in shard-index order.
+    pub fn backward_params(&self, loss: Var<'_>) -> ParamGrads {
+        let mut collected = ParamGrads {
+            entries: Vec::new(),
+        };
+        // Param identity -> entry index, for parameters recorded on the
+        // tape more than once (e.g. a layer applied at two places).
+        let mut slot_of: HashMap<usize, usize> = HashMap::new();
+        self.backward_walk(loss, &mut |p: &Param, g: &Tensor| {
+            if p.is_trainable() {
+                match slot_of.get(&p.key()) {
+                    Some(&i) => collected.entries[i].1.add_assign(g),
+                    None => {
+                        slot_of.insert(p.key(), collected.entries.len());
+                        collected.entries.push((p.clone(), g.clone()));
+                    }
+                }
+            }
+        });
+        collected
+    }
+
+    /// The shared reverse walk; `on_param` receives each parameter
+    /// node's gradient (deposit it or collect it).
+    fn backward_walk(&self, loss: Var<'_>, on_param: &mut dyn FnMut(&Param, &Tensor)) -> Gradients {
         let nodes = self.nodes.borrow();
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.shape()));
 
         for id in (0..=loss.id).rev() {
             let Some(g) = grads[id].take() else { continue };
-            self.step_backward(&nodes, &mut grads, id, &g);
+            self.step_backward(&nodes, &mut grads, on_param, id, &g);
             grads[id] = Some(g);
         }
         Gradients { grads }
     }
 
-    fn step_backward(&self, nodes: &[Node], grads: &mut [Option<Tensor>], id: usize, g: &Tensor) {
+    fn step_backward(
+        &self,
+        nodes: &[Node],
+        grads: &mut [Option<Tensor>],
+        on_param: &mut dyn FnMut(&Param, &Tensor),
+        id: usize,
+        g: &Tensor,
+    ) {
         let add_grad = |grads: &mut [Option<Tensor>], to: usize, inc: Tensor| match &mut grads[to] {
             Some(acc) => acc.add_assign(&inc),
             slot @ None => *slot = Some(inc),
         };
         match &nodes[id].op {
             Op::Leaf => {}
-            Op::ParamLeaf(p) => p.accumulate_grad(g),
+            Op::ParamLeaf(p) => on_param(p, g),
             Op::Add(a, b, bc) => {
                 add_grad(grads, *a, g.clone());
                 let gb = match bc {
@@ -393,6 +588,12 @@ impl Tape {
 
 #[allow(clippy::should_implement_trait)] // add/sub/mul/neg mirror the op names on a by-value Var, deliberately
 impl<'t> Var<'t> {
+    /// The tape this variable lives on (e.g. for drawing from the
+    /// tape-local RNG stream in stochastic layers).
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
     /// Clone of this node's value.
     pub fn value(&self) -> Tensor {
         self.tape.val(self.id).clone()
@@ -890,6 +1091,83 @@ mod tests {
         let loss = y.mean_all();
         t.backward(loss);
         assert!((p.grad().item() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_params_matches_deposited_grads() {
+        let build = || {
+            (
+                Param::new("a", Tensor::from_vec(vec![1.0, 2.0], &[2])),
+                Param::new("b", Tensor::from_vec(vec![3.0, 4.0], &[2])),
+            )
+        };
+        let (pa, pb) = build();
+        let run = |pa: &Param, pb: &Param, deposit: bool| -> Option<ParamGrads> {
+            let t = Tape::new();
+            let y = t.param(pa).mul(t.param(pb)).add(t.param(pa));
+            let loss = y.mse_loss(&Tensor::zeros(&[2]));
+            if deposit {
+                t.backward(loss);
+                None
+            } else {
+                Some(t.backward_params(loss))
+            }
+        };
+        run(&pa, &pb, true);
+        let (qa, qb) = build();
+        let bundle = run(&qa, &qb, false).unwrap();
+        // Collected bundle bit-matches the deposited slots...
+        assert_eq!(bundle.get(&qa).unwrap(), &pa.grad());
+        assert_eq!(bundle.get(&qb).unwrap(), &pb.grad());
+        assert_eq!(bundle.len(), 2);
+        // ...and collection left the params' own slots untouched.
+        assert_eq!(qa.grad().data(), &[0.0, 0.0]);
+        bundle.apply();
+        assert_eq!(qa.grad(), pa.grad());
+    }
+
+    #[test]
+    fn backward_params_skips_frozen() {
+        let p = Param::new("w", Tensor::from_vec(vec![2.0], &[1]));
+        p.set_trainable(false);
+        let t = Tape::new();
+        let loss = t.param(&p).mse_loss(&Tensor::zeros(&[1]));
+        let bundle = t.backward_params(loss);
+        assert!(bundle.is_empty());
+        assert!(bundle.get(&p).is_none());
+    }
+
+    #[test]
+    fn bundle_reduce_is_ordered_sum() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0], &[1]));
+        let one = |scale: f32| {
+            let t = Tape::new();
+            let loss = t.param(&p).scale(scale).mse_loss(&Tensor::zeros(&[1]));
+            t.backward_params(loss)
+        };
+        let shards = vec![one(1.0), one(2.0), one(3.0)];
+        let expect: f32 = shards.iter().map(|s| s.get(&p).unwrap().item()).sum();
+        let reduced = ParamGrads::reduce(shards).unwrap();
+        assert_eq!(reduced.get(&p).unwrap().item(), expect);
+        assert!(ParamGrads::reduce(std::iter::empty()).is_none());
+        // Norm and scale round-trip.
+        let mut r = reduced;
+        let n = r.global_norm();
+        assert!(n > 0.0);
+        r.scale(1.0 / n);
+        assert!((r.global_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tape_rng_stream_is_seed_deterministic() {
+        let a = Tape::with_seed(42);
+        let b = Tape::with_seed(42);
+        let xs: Vec<u64> = (0..4).map(|_| a.rng_next()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.rng_next()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], xs[1], "stream must advance");
+        let c = Tape::with_seed(43);
+        assert_ne!(xs[0], c.rng_next(), "seeds must decorrelate");
     }
 
     #[test]

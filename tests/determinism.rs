@@ -1,7 +1,9 @@
 //! Reproducibility guarantees: everything in this repository is a pure
 //! function of its seeds.
 
-use ntt::core::{train_delay, Aggregation, DelayHead, Ntt, NttConfig, TrainConfig, TrainMode};
+use ntt::core::{
+    train_delay, Aggregation, DelayHead, Ntt, NttConfig, ParStrategy, TrainConfig, TrainMode,
+};
 use ntt::data::{DatasetConfig, DelayDataset, TraceData};
 use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
 
@@ -118,4 +120,63 @@ fn model_init_is_seed_deterministic() {
             .any(|(x, y)| x.value() != y.value()),
         "different seeds must differ"
     );
+}
+
+#[test]
+fn training_is_thread_count_invariant() {
+    // The data-parallel trainer's contract, mirroring
+    // `fleet_determinism`: 1 worker vs 4 workers must produce
+    // bit-identical epoch losses, grad-norm traces, and final
+    // parameter bytes. Dropout is on, so the per-(step, shard) tape
+    // seeding is exercised too.
+    use ntt::nn::Module;
+    let run_with = |threads: usize| {
+        let traces = vec![run(Scenario::Pretrain, &ScenarioConfig::tiny(5))];
+        let (train, _) = DelayDataset::build(
+            TraceData::from_traces(&traces),
+            DatasetConfig {
+                seq_len: 64,
+                stride: 8,
+                test_fraction: 0.2,
+            },
+            None,
+        );
+        let cfg = NttConfig {
+            aggregation: Aggregation::MultiScale { block: 1 },
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            dropout: 0.1,
+            seed: 13,
+            ..NttConfig::default()
+        };
+        let model = Ntt::new(cfg);
+        let head = DelayHead::new(16, 13);
+        let report = train_delay(
+            &model,
+            &head,
+            &train,
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                max_steps_per_epoch: Some(6),
+                par: ParStrategy::with_threads(threads),
+                ..TrainConfig::default()
+            },
+            TrainMode::Full,
+        );
+        let param_bits: Vec<Vec<u32>> = model
+            .params()
+            .iter()
+            .chain(head.params().iter())
+            .map(|p| p.value().data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (report.epoch_losses, report.grad_norms, param_bits)
+    };
+    let serial = run_with(1);
+    let parallel = run_with(4);
+    assert_eq!(serial.0, parallel.0, "epoch losses diverged");
+    assert_eq!(serial.1, parallel.1, "grad-norm traces diverged");
+    assert_eq!(serial.2, parallel.2, "final parameter bytes diverged");
 }
