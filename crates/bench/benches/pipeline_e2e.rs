@@ -1,0 +1,124 @@
+//! End-to-end pipeline wall time: one seeded `Experiment` run — fleet
+//! sweep → dataset → pre-train → checkpoint round-trip → decoder-only
+//! fine-tune — timed stage by stage.
+//!
+//! Custom harness (no criterion): the pipeline is one deterministic
+//! value per seed, so a single timed pass per stage is the honest
+//! measurement; a machine-readable summary lands in
+//! `results/BENCH_pipeline.json` to start the end-to-end perf
+//! trajectory (simulated packets/sec for the sweep, optimizer steps/sec
+//! for the training stages, whole-pipeline wall time).
+//!
+//! Run: `cargo bench -p ntt-bench --bench pipeline_e2e`
+
+use ntt_core::{Experiment, FinetuneOpts, NttConfig, Pretrained, TrainConfig};
+use ntt_fleet::SweepSpec;
+use ntt_sim::scenarios::{Scenario, ScenarioConfig};
+use ntt_sim::SimTime;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    // A reduced-but-real configuration: 256-packet windows, the full
+    // tiny topology, two pre-training shards and one fine-tuning shard.
+    let exp = Experiment::new(NttConfig::reduced(3))
+        .stride(16)
+        .with_train(TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            max_steps_per_epoch: Some(20),
+            seed: 3,
+            ..TrainConfig::default()
+        });
+    let mut scen = ScenarioConfig::tiny(11);
+    scen.duration = SimTime::from_secs(8);
+    let mut ft_scen = ScenarioConfig::tiny(12);
+    ft_scen.duration = SimTime::from_secs(8);
+    let pre_spec = SweepSpec::single(Scenario::Pretrain, scen, 2);
+    let ft_spec = SweepSpec::single(Scenario::Case1, ft_scen, 1);
+
+    eprintln!(
+        "pipeline_e2e: 256-pkt windows, d_model {}, {} pretrain shards",
+        exp.model.d_model,
+        pre_spec.len()
+    );
+
+    let t_all = Instant::now();
+
+    // Stage 1+2+3: sweep → dataset → pretrain (the fleet report inside
+    // `Pretrained` separates simulation time from training time).
+    let t0 = Instant::now();
+    let pre = exp.pretrain(&pre_spec);
+    let pretrain_wall = t0.elapsed().as_secs_f64();
+    let fleet = pre.fleet.as_ref().expect("pipeline ran a sweep");
+    let report = pre.report.as_ref().expect("pipeline trained");
+    let sweep_wall = fleet.wall.as_secs_f64();
+    let train_wall = report.wall.as_secs_f64();
+    let packets_per_sec = fleet.packets_per_sec();
+    let steps_per_sec = report.steps as f64 / train_wall.max(1e-9);
+    eprintln!(
+        "  sweep    : {:.2}s ({:.0} packets/s simulated)",
+        sweep_wall, packets_per_sec
+    );
+    eprintln!(
+        "  pretrain : {:.2}s ({} steps, {:.2} steps/s, final loss {:.4})",
+        train_wall,
+        report.steps,
+        steps_per_sec,
+        report.final_loss()
+    );
+
+    // Stage 4: checkpoint round-trip (save + self-describing load).
+    let path = std::env::temp_dir().join(format!("ntt_bench_pipe_{}.ckpt", std::process::id()));
+    let t0 = Instant::now();
+    pre.save(&path).expect("save checkpoint");
+    let save_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let shared = Pretrained::load(&path).expect("load checkpoint");
+    let load_wall = t0.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_file(&path).ok();
+    eprintln!(
+        "  ckpt     : save {:.3}s + load {:.3}s ({} KiB, self-describing)",
+        save_wall,
+        load_wall,
+        bytes / 1024
+    );
+
+    // Stage 5: decoder-only fine-tune in the new environment.
+    let t0 = Instant::now();
+    let ft = shared.finetune(&ft_spec, &FinetuneOpts::decoder_only().fraction(0.5));
+    let finetune_wall = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "  finetune : {:.2}s ({} windows, zero-shot {:.4} -> {:.4})",
+        finetune_wall,
+        ft.train_windows,
+        ft.zero_shot.expect("measured").mse_norm,
+        ft.eval.mse_norm
+    );
+
+    let total_wall = t_all.elapsed().as_secs_f64();
+    eprintln!("  total    : {total_wall:.2}s end to end");
+
+    let mut json = String::from("{\n  \"bench\": \"pipeline_e2e\",\n");
+    let _ = writeln!(json, "  \"seq_len\": {},", exp.model.seq_len());
+    let _ = writeln!(json, "  \"d_model\": {},", exp.model.d_model);
+    let _ = writeln!(json, "  \"pretrain_shards\": {},", pre_spec.len());
+    let _ = writeln!(json, "  \"sweep_wall_s\": {sweep_wall:.4},");
+    let _ = writeln!(json, "  \"sim_packets_per_sec\": {packets_per_sec:.1},");
+    let _ = writeln!(json, "  \"pretrain_wall_s\": {pretrain_wall:.4},");
+    let _ = writeln!(json, "  \"train_steps_per_sec\": {steps_per_sec:.4},");
+    let _ = writeln!(json, "  \"ckpt_save_s\": {save_wall:.5},");
+    let _ = writeln!(json, "  \"ckpt_load_s\": {load_wall:.5},");
+    let _ = writeln!(json, "  \"ckpt_bytes\": {bytes},");
+    let _ = writeln!(json, "  \"finetune_wall_s\": {finetune_wall:.4},");
+    let _ = writeln!(json, "  \"total_wall_s\": {total_wall:.4}");
+    json.push_str("}\n");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = dir.join("BENCH_pipeline.json");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        eprintln!("  (could not write {}: {e})", path.display());
+    } else {
+        eprintln!("  wrote {}", path.display());
+    }
+}

@@ -15,13 +15,14 @@
 //! the reproduced result. See EXPERIMENTS.md.
 
 use ntt_bench::report::{fmt_duration, fmt_e3, Table};
-use ntt_bench::runner::{delay_sets, mct_sets, pretrain_variant, Env};
+use ntt_bench::runner::{delay_sets, experiment, mct_sets, pretrain_variant, Env};
 use ntt_core::baselines::{
     delay_ewma_mse, delay_last_observed_mse, mct_ewma_mse, mct_last_observed_mse, EWMA_ALPHA,
 };
-use ntt_core::{eval_delay, eval_mct, train_delay, train_mct, DelayHead, MctHead, Ntt, TrainMode};
-use ntt_data::FeatureMask;
+use ntt_core::FinetuneOpts;
+use ntt_data::{FeatureMask, TraceData};
 use ntt_sim::Scenario;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The fraction defining the paper's "smaller" fine-tuning datasets.
@@ -82,44 +83,29 @@ fn main() {
         ],
     );
 
-    // ---- NTT variants: pre-train, then fine-tune decoder-only ----
+    // ---- NTT variants: pre-train, then fine-tune decoder-only.
+    // Every row runs through the Experiment pipeline: the feature mask
+    // rides in the model config, the pre-training normalizer flows into
+    // every fine-tuning dataset, and fine-tuning works on weight clones
+    // so rows stay independent without checkpoint gymnastics. ----
+    let ft_data = TraceData::from_traces(&ft_traces);
+    let ten_pct = FinetuneOpts::decoder_only()
+        .fraction(TEN_PERCENT)
+        .seed(env.seed);
     let mut scratch_row: Option<[String; 2]> = None;
     for (label, agg, mask, paper) in &variants {
         let v = pretrain_variant(&env, &pre_traces, *agg, *mask, label);
-        let seq = v.model.cfg.seq_len();
+        let mut pre = v.pre;
+        pre.exp.train = env.finetune_cfg();
 
         // Fine-tune the delay decoder on the 10% case-1 dataset.
-        let (ft_train_full, ft_test) = delay_sets(&env, &ft_traces, seq, None);
-        let ft_train = ft_train_full.subsample(TEN_PERCENT, env.seed);
-        let (ft_train, ft_test) = (ft_train.with_mask(*mask), ft_test.with_mask(*mask));
-        train_delay(
-            &v.model,
-            &v.head,
-            &ft_train,
-            &env.finetune_cfg(),
-            TrainMode::DecoderOnly,
-        );
-        let ft_eval = eval_delay(&v.model, &v.head, &ft_test, 64);
-        let ft_nmse = ft_eval.mse_raw / ft_test.target_variance();
+        let ft = pre.finetune_on(Arc::clone(&ft_data), &ten_pct);
+        let ft_nmse = ft.eval.mse_raw / ft.test_target_variance;
         eprintln!("[ft-delay:{label}] test MSE {:.3}e-3", ft_nmse * 1e3);
 
         // Fine-tune a fresh MCT decoder on the 10% case-1 MCT dataset.
-        let (mct_train_full, mct_test) =
-            mct_sets(&env, &ft_traces, seq, ft_train_full.norm.clone());
-        let mct_train = mct_train_full
-            .subsample(TEN_PERCENT, env.seed)
-            .with_mask(*mask);
-        let mct_test = mct_test.with_mask(*mask);
-        let mct_head = MctHead::new(v.model.cfg.d_model, env.seed);
-        train_mct(
-            &v.model,
-            &mct_head,
-            &mct_train,
-            &env.finetune_cfg(),
-            TrainMode::DecoderOnly,
-        );
-        let mct_eval = eval_mct(&v.model, &mct_head, &mct_test, 64);
-        let mct_nmse = mct_eval.mse_raw / mct_test.target_log_variance();
+        let mct = pre.finetune_mct_on(Arc::clone(&ft_data), &ten_pct);
+        let mct_nmse = mct.eval.mse_raw / mct.test_target_variance;
         eprintln!("[ft-mct:{label}] test MSE {:.3}e-3", mct_nmse * 1e3);
 
         table.row(&[
@@ -134,45 +120,30 @@ fn main() {
 
         // The "from scratch" row trains the same architecture directly
         // on the 10% fine-tuning datasets (computed once, for the
-        // unablated architecture).
+        // unablated architecture). A scratch experiment fits its own
+        // normalization — it never saw the pre-training data.
         if *label == "Pre-trained" {
-            let cfg = env.model_cfg(*agg, *mask);
-            let scratch = Ntt::new(ntt_core::NttConfig {
-                seed: cfg.seed ^ 0xff,
-                ..cfg
-            });
-            let scratch_head = DelayHead::new(cfg.d_model, env.seed ^ 0xff);
-            // From scratch fits its own normalization (it never saw the
-            // pre-training data).
-            let (s_train_full, s_test) = delay_sets(&env, &ft_traces, seq, None);
-            let s_train = s_train_full.subsample(TEN_PERCENT, env.seed);
-            train_delay(
-                &scratch,
-                &scratch_head,
-                &s_train,
-                &env.finetune_cfg(),
-                TrainMode::Full,
+            let mut s_exp = experiment(&env, *agg, *mask);
+            s_exp.model.seed ^= 0xff;
+            s_exp.train = env.finetune_cfg();
+            let s = s_exp.scratch_on(
+                Arc::clone(&ft_data),
+                &FinetuneOpts::full().fraction(TEN_PERCENT).seed(env.seed),
             );
-            let s_eval = eval_delay(&scratch, &scratch_head, &s_test, 64);
-            let s_nmse = s_eval.mse_raw / s_test.target_variance();
+            let s_nmse = s.eval.mse_raw / s.test_target_variance;
             eprintln!("[scratch-delay] test MSE {:.3}e-3", s_nmse * 1e3);
 
-            let scratch2 = Ntt::new(ntt_core::NttConfig {
-                seed: cfg.seed ^ 0xfe,
-                ..cfg
-            });
-            let (m_train_full, m_test) = mct_sets(&env, &ft_traces, seq, s_train.norm.clone());
-            let m_train = m_train_full.subsample(TEN_PERCENT, env.seed);
-            let m_head = MctHead::new(cfg.d_model, env.seed ^ 0xfe);
-            train_mct(
-                &scratch2,
-                &m_head,
-                &m_train,
-                &env.finetune_cfg(),
-                TrainMode::Full,
+            // Scratch MCT: an untrained trunk plus a fresh MCT head,
+            // trained together — its normalizer is fitted on the
+            // fine-tuning windows (a scratch site owns no other data).
+            let (s_train_all, _) = s_exp.delay_datasets(Arc::clone(&ft_data), None);
+            let mut s2_exp = s_exp;
+            s2_exp.model.seed ^= 0x01;
+            let m = s2_exp.untrained(s_train_all.norm.clone()).finetune_mct_on(
+                Arc::clone(&ft_data),
+                &FinetuneOpts::full().fraction(TEN_PERCENT).seed(env.seed),
             );
-            let m_eval = eval_mct(&scratch2, &m_head, &m_test, 64);
-            let m_nmse = m_eval.mse_raw / m_test.target_log_variance();
+            let m_nmse = m.eval.mse_raw / m.test_target_variance;
             eprintln!("[scratch-mct] test MSE {:.3}e-3", m_nmse * 1e3);
             scratch_row = Some([fmt_e3(s_nmse), fmt_e3(m_nmse)]);
         }

@@ -8,10 +8,11 @@
 //! Run: `cargo run --release -p ntt-bench --bin table2 [--scale quick|paper]`
 
 use ntt_bench::report::{fmt_duration, fmt_e3, Table};
-use ntt_bench::runner::{delay_sets, pretrain_variant, Env};
-use ntt_core::{eval_delay, train_delay, DelayHead, Ntt, NttConfig, TrainMode};
-use ntt_data::FeatureMask;
+use ntt_bench::runner::{experiment, pretrain_variant, Env};
+use ntt_core::FinetuneOpts;
+use ntt_data::{FeatureMask, TraceData};
 use ntt_sim::Scenario;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -22,74 +23,69 @@ fn main() {
     let pre_traces = env.traces(Scenario::Pretrain);
     let ft_traces = env.traces(Scenario::Case1);
     let agg = env.agg_multiscale();
-    let seq = agg.seq_len();
+    let ft_data = TraceData::from_traces(&ft_traces);
 
     // One shared pre-training run (its cost is amortized across all
     // fine-tunings — that is the economics of Fig. 1).
     let v = pretrain_variant(&env, &pre_traces, agg, FeatureMask::all(), "table2");
     let pretrain_time = v.report.wall.as_secs_f64();
-
-    let (ft_train_full, ft_test) = delay_sets(&env, &ft_traces, seq, None);
-    let ft_train_small = ft_train_full.subsample(0.10, env.seed);
+    let mut pre = v.pre;
+    pre.exp.train = env.finetune_cfg();
 
     let mut table = Table::new(
         "Table 2 - fine-tuning cost on the same topology (variance-relative delay MSE x1e-3; paper in [brackets])",
         &["Setting", "Layers trained", "MSE", "[paper]", "Train time", "[paper]"],
     );
 
-    // Pre-trained, decoder-only, full and 10% datasets. Each row
-    // re-fine-tunes from the pre-trained weights (restored via a fresh
-    // head so rows are independent).
-    for (ds, frac_label, paper_mse, paper_time) in [
-        (&ft_train_full, "Fine-tuning (full)", 0.033, "8h45"),
-        (&ft_train_small, "Fine-tuning (10%)", 0.037, "3h45"),
+    // Pre-trained, decoder-only, full and 10% datasets. Rows are
+    // independent by construction: fine-tuning always works on a
+    // weight-cloned copy of the shared pre-trained model.
+    for (fraction, frac_label, paper_mse, paper_time) in [
+        (None, "Fine-tuning (full)", 0.033, "8h45"),
+        (Some(0.10), "Fine-tuning (10%)", 0.037, "3h45"),
     ] {
-        let head = DelayHead::new(v.model.cfg.d_model, env.seed ^ 0x7a);
-        let rep = train_delay(
-            &v.model,
-            &head,
-            ds,
-            &env.finetune_cfg(),
-            TrainMode::DecoderOnly,
-        );
-        let ev = eval_delay(&v.model, &head, &ft_test, 64);
+        let mut opts = FinetuneOpts::decoder_only().seed(env.seed);
+        if let Some(f) = fraction {
+            opts = opts.fraction(f);
+        }
+        let ft = pre.finetune_on(Arc::clone(&ft_data), &opts);
         table.row(&[
             format!("Pre-trained + {frac_label}"),
             "Decoder only".into(),
-            fmt_e3(ev.mse_raw / ft_test.target_variance()),
+            fmt_e3(ft.eval.mse_raw / ft.test_target_variance),
             format!("[{paper_mse:.3}]"),
-            fmt_duration(rep.wall.as_secs_f64()),
+            fmt_duration(ft.report.wall.as_secs_f64()),
             format!("[{paper_time}]"),
         ]);
         eprintln!(
-            "[table2] pre-trained {frac_label}: {} trainable params, {}",
-            rep.trainable_params,
-            fmt_duration(rep.wall.as_secs_f64())
+            "[table2] pre-trained {frac_label}: {} windows, {} trainable params, {}",
+            ft.train_windows,
+            ft.report.trainable_params,
+            fmt_duration(ft.report.wall.as_secs_f64())
         );
     }
 
-    // From scratch, full model, full and 10% datasets. Fresh
-    // normalization (never saw pre-training data).
-    let (s_train_full, s_test) = delay_sets(&env, &ft_traces, seq, None);
-    let s_train_small = s_train_full.subsample(0.10, env.seed);
-    for (ds, frac_label, paper_mse, paper_time) in [
-        (&s_train_full, "Fine-tuning (full)", 0.036, "26h"),
-        (&s_train_small, "Fine-tuning (10%)", 0.118, "8h40"),
+    // From scratch, full model, full and 10% datasets. A scratch
+    // experiment fits its own normalization (it never saw the
+    // pre-training data).
+    let mut s_exp = experiment(&env, agg, FeatureMask::all());
+    s_exp.model.seed ^= 0xff;
+    s_exp.train = env.finetune_cfg();
+    for (fraction, frac_label, paper_mse, paper_time) in [
+        (None, "Fine-tuning (full)", 0.036, "26h"),
+        (Some(0.10), "Fine-tuning (10%)", 0.118, "8h40"),
     ] {
-        let cfg = env.model_cfg(agg, FeatureMask::all());
-        let scratch = Ntt::new(NttConfig {
-            seed: cfg.seed ^ 0xff,
-            ..cfg
-        });
-        let head = DelayHead::new(cfg.d_model, env.seed ^ 0xff);
-        let rep = train_delay(&scratch, &head, ds, &env.finetune_cfg(), TrainMode::Full);
-        let ev = eval_delay(&scratch, &head, &s_test, 64);
+        let mut opts = FinetuneOpts::full().seed(env.seed);
+        if let Some(f) = fraction {
+            opts = opts.fraction(f);
+        }
+        let s = s_exp.scratch_on(Arc::clone(&ft_data), &opts);
         table.row(&[
             format!("From scratch + {frac_label}"),
             "Full NTT".into(),
-            fmt_e3(ev.mse_raw / s_test.target_variance()),
+            fmt_e3(s.eval.mse_raw / s.test_target_variance),
             format!("[{paper_mse:.3}]"),
-            fmt_duration(rep.wall.as_secs_f64()),
+            fmt_duration(s.report.wall.as_secs_f64()),
             format!("[{paper_time}]"),
         ]);
     }

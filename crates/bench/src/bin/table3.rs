@@ -11,11 +11,12 @@
 //! Run: `cargo run --release -p ntt-bench --bin table3 [--scale quick|paper]`
 
 use ntt_bench::report::{fmt_duration, fmt_e3, Table};
-use ntt_bench::runner::{delay_sets, pretrain_variant, Env};
+use ntt_bench::runner::{delay_sets, experiment, pretrain_variant, Env};
 use ntt_core::baselines::{delay_ewma_mse, delay_last_observed_mse, EWMA_ALPHA};
-use ntt_core::{eval_delay, train_delay, DelayHead, Ntt, NttConfig, TrainMode};
-use ntt_data::FeatureMask;
+use ntt_core::FinetuneOpts;
+use ntt_data::{FeatureMask, TraceData};
 use ntt_sim::Scenario;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -29,9 +30,9 @@ fn main() {
     let seq = agg.seq_len();
 
     let v = pretrain_variant(&env, &pre_traces, agg, FeatureMask::all(), "table3");
-
-    let (ft_train_full, ft_test) = delay_sets(&env, &ft_traces, seq, None);
-    let ft_train_small = ft_train_full.subsample(0.10, env.seed);
+    let ft_data = TraceData::from_traces(&ft_traces);
+    let mut pre = v.pre;
+    pre.exp.train = env.finetune_cfg();
 
     let mut table = Table::new(
         "Table 3 - larger topology (variance-relative delay MSE x1e-3; paper in [brackets])",
@@ -40,54 +41,51 @@ fn main() {
 
     // Pre-trained rows. On the harder topology the paper fine-tunes the
     // full model (learning the topology's specifics needs trunk
-    // updates); decoder-only is reported by table2.
-    for (ds, label, paper_mse, paper_time) in [
-        (&ft_train_full, "Pre-trained + full data", 0.004, "10h"),
-        (&ft_train_small, "Pre-trained + 10% data", 0.035, "8h"),
+    // updates); decoder-only is reported by table2. Rows are
+    // independent because fine-tuning clones the pre-trained weights —
+    // no more checkpoint save/restore between rows.
+    for (fraction, label, paper_mse, paper_time) in [
+        (None, "Pre-trained + full data", 0.004, "10h"),
+        (Some(0.10), "Pre-trained + 10% data", 0.035, "8h"),
     ] {
-        // Fresh head per row; trunk restarts from the pre-trained
-        // weights each time via a checkpoint round-trip.
-        let ckpt = std::env::temp_dir().join(format!("ntt_table3_{}.ckpt", std::process::id()));
-        ntt_core::checkpoint::save(&ckpt, &[&v.model]).expect("save pretrained trunk");
-        let head = DelayHead::new(v.model.cfg.d_model, env.seed ^ 0x7b);
-        let rep = train_delay(&v.model, &head, ds, &env.finetune_cfg(), TrainMode::Full);
-        let ev = eval_delay(&v.model, &head, &ft_test, 64);
-        ntt_core::checkpoint::load(&ckpt, &[&v.model]).expect("restore pretrained trunk");
-        std::fs::remove_file(&ckpt).ok();
+        let mut opts = FinetuneOpts::full().seed(env.seed);
+        if let Some(f) = fraction {
+            opts = opts.fraction(f);
+        }
+        let ft = pre.finetune_on(Arc::clone(&ft_data), &opts);
         table.row(&[
             label.into(),
-            fmt_e3(ev.mse_raw / ft_test.target_variance()),
+            fmt_e3(ft.eval.mse_raw / ft.test_target_variance),
             format!("[{paper_mse:.3}]"),
-            fmt_duration(rep.wall.as_secs_f64()),
+            fmt_duration(ft.report.wall.as_secs_f64()),
             format!("[{paper_time}]"),
         ]);
     }
 
     // From-scratch rows (fresh normalization, fresh weights).
-    let (s_train_full, s_test) = delay_sets(&env, &ft_traces, seq, None);
-    let s_train_small = s_train_full.subsample(0.10, env.seed);
-    for (ds, label, paper_mse, paper_time) in [
-        (&s_train_full, "From scratch + full data", 5.2, "20h"),
-        (&s_train_small, "From scratch + 10% data", 8.2, "11h"),
+    let mut s_exp = experiment(&env, agg, FeatureMask::all());
+    s_exp.model.seed ^= 0xff;
+    s_exp.train = env.finetune_cfg();
+    for (fraction, label, paper_mse, paper_time) in [
+        (None, "From scratch + full data", 5.2, "20h"),
+        (Some(0.10), "From scratch + 10% data", 8.2, "11h"),
     ] {
-        let cfg = env.model_cfg(agg, FeatureMask::all());
-        let scratch = Ntt::new(NttConfig {
-            seed: cfg.seed ^ 0xff,
-            ..cfg
-        });
-        let head = DelayHead::new(cfg.d_model, env.seed ^ 0xff);
-        let rep = train_delay(&scratch, &head, ds, &env.finetune_cfg(), TrainMode::Full);
-        let ev = eval_delay(&scratch, &head, &s_test, 64);
+        let mut opts = FinetuneOpts::full().seed(env.seed);
+        if let Some(f) = fraction {
+            opts = opts.fraction(f);
+        }
+        let s = s_exp.scratch_on(Arc::clone(&ft_data), &opts);
         table.row(&[
             label.into(),
-            fmt_e3(ev.mse_raw / s_test.target_variance()),
+            fmt_e3(s.eval.mse_raw / s.test_target_variance),
             format!("[{paper_mse}]"),
-            fmt_duration(rep.wall.as_secs_f64()),
+            fmt_duration(s.report.wall.as_secs_f64()),
             format!("[{paper_time}]"),
         ]);
     }
 
     // In-text: naive baselines on the case-2 test split.
+    let (_, s_test) = delay_sets(&env, &ft_traces, seq, None);
     let s_var = s_test.target_variance();
     table.row(&[
         "Last observed (baseline)".into(),
@@ -105,26 +103,22 @@ fn main() {
     ]);
 
     // In-text: without addressing information the model cannot tell
-    // receivers apart (paper: MSE 2.8).
+    // receivers apart (paper: MSE 2.8). The mask lives in the model
+    // config, so the pipeline ablates every dataset automatically.
     {
         let mask = FeatureMask::without_receiver();
         let v2 = pretrain_variant(&env, &pre_traces, agg, mask, "no-addressing");
-        let (na_train_full, na_test) = delay_sets(&env, &ft_traces, seq, None);
-        let na_train = na_train_full.subsample(0.10, env.seed).with_mask(mask);
-        let na_test = na_test.with_mask(mask);
-        let rep = train_delay(
-            &v2.model,
-            &v2.head,
-            &na_train,
-            &env.finetune_cfg(),
-            TrainMode::Full,
+        let mut na_pre = v2.pre;
+        na_pre.exp.train = env.finetune_cfg();
+        let na = na_pre.finetune_on(
+            Arc::clone(&ft_data),
+            &FinetuneOpts::full().fraction(0.10).seed(env.seed),
         );
-        let ev = eval_delay(&v2.model, &v2.head, &na_test, 64);
         table.row(&[
             "Pre-trained, no addressing + 10%".into(),
-            fmt_e3(ev.mse_raw / na_test.target_variance()),
+            fmt_e3(na.eval.mse_raw / na.test_target_variance),
             "[2.8]".into(),
-            fmt_duration(rep.wall.as_secs_f64()),
+            fmt_duration(na.report.wall.as_secs_f64()),
             "[-]".into(),
         ]);
     }

@@ -13,12 +13,11 @@
 //! absolute numbers shrink. EXPERIMENTS.md records quick-scale results.
 
 use ntt_core::{
-    eval_delay, train_delay, Aggregation, DelayHead, EvalReport, Ntt, NttConfig, ParStrategy,
-    TrainConfig, TrainMode, TrainReport,
+    Aggregation, EvalReport, Experiment, NttConfig, ParStrategy, Pretrained, TrainConfig,
+    TrainReport,
 };
 use ntt_data::{DatasetConfig, DelayDataset, FeatureMask, MctDataset, Normalizer, TraceData};
 use ntt_fleet::{run_fleet_traces, FleetConfig, SweepSpec};
-use ntt_nn::Module;
 use ntt_sim::scenarios::{Scenario, ScenarioConfig};
 use ntt_sim::{RunTrace, SimTime};
 
@@ -273,24 +272,43 @@ pub fn mct_sets(
     MctDataset::build(data, env.ds_cfg(seq_len), feature_norm)
 }
 
+/// The [`Experiment`] pipeline for one (aggregation, mask) variant at
+/// this scale: model config, per-scale windowing/stride, the
+/// pre-training loop parameters, and the shared thread knob.
+pub fn experiment(env: &Env, aggregation: Aggregation, mask: FeatureMask) -> Experiment {
+    let cfg = env.model_cfg(aggregation, mask);
+    let mut exp = Experiment::new(cfg)
+        .with_train(env.pretrain_cfg())
+        .threads(env.threads);
+    exp.data = env.ds_cfg(cfg.seq_len());
+    exp
+}
+
 /// A pre-trained NTT variant (one Table 1 row's model).
 pub struct PretrainedVariant {
     pub label: String,
-    pub model: Ntt,
-    pub head: DelayHead,
+    /// The full pipeline object: model, heads, normalizer, provenance.
+    pub pre: Pretrained,
     /// Delay MSE (raw seconds²) on the pre-training test split.
     pub pretrain_eval: EvalReport,
     /// `mse_raw / Var(test targets)` — the paper's apparent unit
     /// (variance-relative MSE; 1.0 = predicting the mean).
     pub pretrain_nmse: f64,
     pub report: TrainReport,
-    /// Feature normalizer fitted on the pre-training data (reused when
-    /// fine-tuning, so representations stay comparable).
-    pub norm: Normalizer,
     pub mask: FeatureMask,
 }
 
-/// Pre-train one NTT variant on the pre-training traces.
+impl PretrainedVariant {
+    /// Feature normalizer fitted on the pre-training data (reused when
+    /// fine-tuning, so representations stay comparable).
+    pub fn norm(&self) -> &Normalizer {
+        &self.pre.norm
+    }
+}
+
+/// Pre-train one NTT variant on the pre-training traces, through the
+/// `Experiment` pipeline (the mask rides in `NttConfig::features` and
+/// is applied to every dataset the pipeline builds).
 pub fn pretrain_variant(
     env: &Env,
     traces: &[RunTrace],
@@ -298,19 +316,19 @@ pub fn pretrain_variant(
     mask: FeatureMask,
     label: &str,
 ) -> PretrainedVariant {
-    let cfg = env.model_cfg(aggregation, mask);
-    let (train, test) = delay_sets(env, traces, cfg.seq_len(), None);
-    let (train, test) = (train.with_mask(mask), test.with_mask(mask));
-    let model = Ntt::new(cfg);
-    let head = DelayHead::new(cfg.d_model, cfg.seed);
-    eprintln!(
-        "[pretrain:{label}] {} windows, {} params",
-        train.len(),
-        model.num_params() + head.num_params()
+    let exp = experiment(env, aggregation, mask);
+    eprintln!("[pretrain:{label}] pre-training via Experiment pipeline...");
+    let pre = exp.pretrain_on(
+        TraceData::from_traces(traces),
+        format!("{label}: {} pretrain traces", traces.len()),
+        None,
     );
-    let report = train_delay(&model, &head, &train, &env.pretrain_cfg(), TrainMode::Full);
-    let pretrain_eval = eval_delay(&model, &head, &test, 64);
-    let pretrain_nmse = pretrain_eval.mse_raw / test.target_variance();
+    let report = pre.report.clone().expect("pretrain_on always reports");
+    let pretrain_eval = pre.eval.expect("pretrain_on always evaluates");
+    let pretrain_nmse = pretrain_eval.mse_raw
+        / pre
+            .test_target_variance
+            .expect("pretrain_on records variance");
     eprintln!(
         "[pretrain:{label}] {} steps in {}; test MSE {:.3}e-3 (variance-relative); grad norm {:.3} -> {:.3}",
         report.steps,
@@ -321,9 +339,7 @@ pub fn pretrain_variant(
     );
     PretrainedVariant {
         label: label.to_string(),
-        norm: train.norm.clone(),
-        model,
-        head,
+        pre,
         pretrain_eval,
         pretrain_nmse,
         report,

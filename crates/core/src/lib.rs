@@ -7,9 +7,13 @@
 //! The model (Fig. 3) embeds raw per-packet features, compresses 1024
 //! packets into 48 sequence elements with learned multi-timescale
 //! aggregation, runs a transformer encoder, and attaches replaceable
-//! task heads. Pre-training masks the most recent packet's delay;
-//! fine-tuning adapts the head (and optionally the trunk) to new
-//! environments and tasks.
+//! task heads ([`ntt_nn::Head`] impls — delay, MCT, drop-count, or your
+//! own). Pre-training masks the most recent packet's delay; fine-tuning
+//! adapts the head (and optionally the trunk) to new environments and
+//! tasks. The [`pipeline::Experiment`] builder chains the whole
+//! workflow — fleet sweep → dataset → pretrain → self-describing
+//! checkpoint → fine-tune → evaluate — with one shared seed and
+//! normalization story.
 //!
 //! ```
 //! use ntt_core::{Aggregation, DelayHead, Ntt, NttConfig};
@@ -35,12 +39,16 @@ pub mod checkpoint;
 mod config;
 pub mod federated;
 mod model;
+pub mod pipeline;
 mod task;
 mod trainer;
 
+pub use checkpoint::{Checkpoint, HeadSpec, LoadedModel};
 pub use config::{Aggregation, NttConfig, OUT_SLOTS, ZONE_SLOTS};
-pub use model::{DelayHead, MctHead, Ntt};
-pub use task::{DelayTask, MctTask, Task};
+pub use model::{build_head, DelayHead, DropHead, MctHead, Ntt};
+pub use ntt_nn::Head;
+pub use pipeline::{Experiment, FinetuneOpts, Finetuned, Pretrained};
+pub use task::{DelayTask, DropTask, HeadTask, MctTask, Task};
 pub use trainer::{
     eval_delay, eval_mct, evaluate, train, train_delay, train_mct, EvalReport, ParStrategy,
     TrainConfig, TrainMode, TrainReport,

@@ -11,7 +11,7 @@
 
 use crate::config::{Aggregation, NttConfig, OUT_SLOTS, ZONE_SLOTS};
 use ntt_data::NUM_FEATURES;
-use ntt_nn::{Activation, Linear, Mlp, Module, PositionalEncoding, TransformerEncoder};
+use ntt_nn::{Activation, Head, Linear, Mlp, Module, PositionalEncoding, TransformerEncoder};
 use ntt_tensor::{Param, Tape, Var};
 
 /// The NTT trunk: embedding + aggregation + encoder.
@@ -102,6 +102,28 @@ impl Ntt {
     pub fn set_training(&self, training: bool) {
         self.encoder.set_training(training);
     }
+
+    /// A structurally identical model with the same parameter *values*
+    /// (fresh storage). The pipeline fine-tunes clones so the shared
+    /// pre-trained weights stay intact for the next fine-tuning.
+    pub fn clone_weights(&self) -> Ntt {
+        let fresh = Ntt::new(self.cfg);
+        copy_params(self, &fresh);
+        fresh
+    }
+}
+
+/// Copy parameter values from `src` to `dst` positionally. Both modules
+/// must have identical structure (params in the same stable order with
+/// the same shapes) — guaranteed when both were built from the same
+/// config/kind.
+pub(crate) fn copy_params(src: &dyn Module, dst: &dyn Module) {
+    let (s, d) = (src.params(), dst.params());
+    assert_eq!(s.len(), d.len(), "param count mismatch in weight copy");
+    for (a, b) in s.iter().zip(d.iter()) {
+        assert_eq!(a.shape(), b.shape(), "shape mismatch for {}", a.name());
+        b.set_value(a.value());
+    }
 }
 
 impl Module for Ntt {
@@ -149,6 +171,20 @@ impl Module for DelayHead {
     }
 }
 
+impl Head for DelayHead {
+    fn kind(&self) -> &'static str {
+        "delay"
+    }
+
+    fn d_model(&self) -> usize {
+        self.mlp.in_features()
+    }
+
+    fn forward_head<'t>(&self, tape: &'t Tape, encoded: Var<'t>, _aux: Option<Var<'t>>) -> Var<'t> {
+        self.forward(tape, encoded)
+    }
+}
+
 /// Message-completion-time head: MLP on (mean-pooled sequence ⊕ log
 /// message size) — "a decoder with two inputs: the NTT outputs for the
 /// past packets and the message size" (§4).
@@ -178,6 +214,88 @@ impl MctHead {
 impl Module for MctHead {
     fn params(&self) -> Vec<Param> {
         self.mlp.params()
+    }
+}
+
+impl Head for MctHead {
+    fn kind(&self) -> &'static str {
+        "mct"
+    }
+
+    fn d_model(&self) -> usize {
+        self.mlp.in_features() - 1 // the aux channel is appended
+    }
+
+    fn needs_aux(&self) -> bool {
+        true
+    }
+
+    fn forward_head<'t>(&self, tape: &'t Tape, encoded: Var<'t>, aux: Option<Var<'t>>) -> Var<'t> {
+        self.forward(
+            tape,
+            encoded,
+            aux.expect("MCT head needs the message size input"),
+        )
+    }
+}
+
+/// Drop-count head: MLP on the mean-pooled sequence predicting the
+/// number of retransmitted (≈ dropped upstream) packets in the window —
+/// the §5 telemetry task, and the proof that a new head is a few dozen
+/// lines against the [`Head`]/[`ntt_data::TaskDataset`] traits with no
+/// engine changes.
+pub struct DropHead {
+    mlp: Mlp,
+}
+
+impl DropHead {
+    pub fn new(d_model: usize, seed: u64) -> Self {
+        DropHead {
+            mlp: Mlp::new(
+                "drop_head",
+                &[d_model, d_model, 1],
+                Activation::Gelu,
+                seed ^ 0xd5,
+            ),
+        }
+    }
+
+    /// `[B, 48, D] -> [B, 1]` (normalized drop count).
+    pub fn forward<'t>(&self, tape: &'t Tape, encoded: Var<'t>) -> Var<'t> {
+        self.mlp.forward(tape, encoded.mean_axis1())
+    }
+}
+
+impl Module for DropHead {
+    fn params(&self) -> Vec<Param> {
+        self.mlp.params()
+    }
+}
+
+impl Head for DropHead {
+    fn kind(&self) -> &'static str {
+        "drop"
+    }
+
+    fn d_model(&self) -> usize {
+        self.mlp.in_features()
+    }
+
+    fn forward_head<'t>(&self, tape: &'t Tape, encoded: Var<'t>, _aux: Option<Var<'t>>) -> Var<'t> {
+        self.forward(tape, encoded)
+    }
+}
+
+/// Build a fresh head of the given `kind` — the registry the
+/// self-describing checkpoint loader uses to reconstruct heads from
+/// their descriptors. Weights are overwritten right after construction,
+/// so the init seed is immaterial; it is fixed for reproducibility.
+pub fn build_head(kind: &str, d_model: usize) -> Option<Box<dyn Head>> {
+    match kind {
+        "delay" => Some(Box::new(DelayHead::new(d_model, 0))),
+        "mct" => Some(Box::new(MctHead::new(d_model, 0))),
+        "drop" => Some(Box::new(DropHead::new(d_model, 0))),
+        _ => None,
     }
 }
 
@@ -226,6 +344,79 @@ mod tests {
         assert_eq!(delay.forward(&tape, enc).shape(), vec![3, 1]);
         let sizes = tape.input(Tensor::randn(&[3, 1], 3));
         assert_eq!(mct.forward(&tape, enc, sizes).shape(), vec![3, 1]);
+    }
+
+    #[test]
+    fn head_trait_descriptors_and_registry_agree() {
+        let delay = DelayHead::new(16, 0);
+        let mct = MctHead::new(16, 0);
+        let drop = DropHead::new(16, 0);
+        for (h, kind, needs_aux) in [
+            (&delay as &dyn Head, "delay", false),
+            (&mct, "mct", true),
+            (&drop, "drop", false),
+        ] {
+            assert_eq!(h.kind(), kind);
+            assert_eq!(h.d_model(), 16, "{kind}: d_model");
+            assert_eq!(h.needs_aux(), needs_aux, "{kind}: needs_aux");
+            let rebuilt = build_head(kind, 16).expect("registry knows its own kinds");
+            assert_eq!(rebuilt.kind(), kind);
+            assert_eq!(
+                rebuilt.params().len(),
+                h.params().len(),
+                "{kind}: registry rebuild must be structurally identical"
+            );
+        }
+        assert!(build_head("nope", 16).is_none());
+    }
+
+    #[test]
+    fn head_trait_forward_matches_inherent_forward() {
+        let cfg = tiny_cfg(Aggregation::None);
+        let ntt = Ntt::new(cfg);
+        let tape = Tape::new();
+        let x = tape.input(Tensor::randn(&[2, 48, NUM_FEATURES], 5));
+        let enc = ntt.forward(&tape, x);
+        let delay = DelayHead::new(16, 1);
+        assert_eq!(
+            delay.forward(&tape, enc).value(),
+            delay.forward_head(&tape, enc, None).value()
+        );
+        let drop = DropHead::new(16, 1);
+        assert_eq!(
+            drop.forward(&tape, enc).value(),
+            drop.forward_head(&tape, enc, None).value()
+        );
+        let mct = MctHead::new(16, 1);
+        let sizes = tape.input(Tensor::randn(&[2, 1], 6));
+        assert_eq!(
+            mct.forward(&tape, enc, sizes).value(),
+            mct.forward_head(&tape, enc, Some(sizes)).value()
+        );
+    }
+
+    #[test]
+    fn clone_weights_copies_values_into_fresh_storage() {
+        let cfg = tiny_cfg(Aggregation::MultiScale { block: 2 });
+        let a = Ntt::new(cfg);
+        let b = a.clone_weights();
+        for (x, y) in a.params().iter().zip(b.params().iter()) {
+            assert_eq!(x.value(), y.value(), "param {}", x.name());
+        }
+        // Fresh storage: mutating the clone leaves the original alone.
+        let p = &b.params()[0];
+        p.set_value(Tensor::zeros(&p.shape()));
+        assert_ne!(a.params()[0].value(), b.params()[0].value());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the message size")]
+    fn mct_head_rejects_missing_aux() {
+        let cfg = tiny_cfg(Aggregation::None);
+        let ntt = Ntt::new(cfg);
+        let tape = Tape::new();
+        let enc = ntt.forward(&tape, tape.input(Tensor::randn(&[1, 48, NUM_FEATURES], 7)));
+        MctHead::new(16, 0).forward_head(&tape, enc, None);
     }
 
     #[test]

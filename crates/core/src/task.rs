@@ -1,17 +1,20 @@
 //! The [`Task`] trait: what the generic train/eval engine needs to know
-//! about a prediction task.
+//! about a prediction task — and [`HeadTask`], the one impl that covers
+//! every (head, dataset) pair.
 //!
-//! The paper's two tasks — masked-delay prediction (pre-training) and
-//! message-completion-time regression (fine-tuning) — differ only in
-//! their dataset, head, and forward wiring. Everything else (batching,
+//! The paper's tasks — masked-delay prediction (pre-training),
+//! message-completion-time regression, drop-count regression — differ
+//! only in their dataset and head. Everything else (batching,
 //! shuffling, the optimizer loop, microbatch fan-out, deterministic
 //! gradient reduction, evaluation accounting) is task-independent and
-//! lives once in [`crate::trainer`]. A new task is a ~30-line impl of
-//! this trait, not a fourth copy of the training loop.
+//! lives once in [`crate::trainer`]. Since PR 3, the dataset side is
+//! abstracted too ([`ntt_data::TaskDataset`]), so a new task is a
+//! [`Head`] impl plus a `TaskDataset` impl — `HeadTask` wires any such
+//! pair into the engine with zero new trainer code.
 
-use crate::model::{DelayHead, MctHead, Ntt};
-use ntt_data::{DelayDataset, MctDataset};
-use ntt_nn::Module;
+use crate::model::Ntt;
+use ntt_data::TaskDataset;
+use ntt_nn::Head;
 use ntt_tensor::{Param, Tape, Var};
 
 /// A supervised task the engine can train and evaluate.
@@ -53,21 +56,25 @@ pub trait Task: Sync {
     fn batch_loss<'t>(&self, tape: &'t Tape, ntt: &Ntt, idx: &[usize]) -> Var<'t>;
 }
 
-/// Masked-delay prediction (pre-training, and fine-tuning case 1).
-pub struct DelayTask<'a> {
-    head: &'a DelayHead,
-    ds: &'a DelayDataset,
+/// The generic task: any [`Head`] over any [`TaskDataset`].
+///
+/// `?Sized` bounds let the pipeline drive trait objects — e.g. a
+/// `&dyn Head` reconstructed from a checkpoint — through the same impl
+/// that serves concrete head types.
+pub struct HeadTask<'a, H: Head + ?Sized, D: TaskDataset + ?Sized> {
+    head: &'a H,
+    ds: &'a D,
 }
 
-impl<'a> DelayTask<'a> {
-    pub fn new(head: &'a DelayHead, ds: &'a DelayDataset) -> Self {
-        DelayTask { head, ds }
+impl<'a, H: Head + ?Sized, D: TaskDataset + ?Sized> HeadTask<'a, H, D> {
+    pub fn new(head: &'a H, ds: &'a D) -> Self {
+        HeadTask { head, ds }
     }
 }
 
-impl Task for DelayTask<'_> {
+impl<H: Head + ?Sized, D: TaskDataset + ?Sized> Task for HeadTask<'_, H, D> {
     fn name(&self) -> &'static str {
-        "delay"
+        self.ds.label()
     }
 
     fn len(&self) -> usize {
@@ -79,50 +86,24 @@ impl Task for DelayTask<'_> {
     }
 
     fn target_std(&self) -> f32 {
-        self.ds.delay_std()
+        self.ds.target_std()
     }
 
     fn batch_loss<'t>(&self, tape: &'t Tape, ntt: &Ntt, idx: &[usize]) -> Var<'t> {
-        let (x, y) = self.ds.batch(idx);
-        let pred = self.head.forward(tape, ntt.forward(tape, tape.input(x)));
-        pred.mse_loss(&y)
-    }
-}
-
-/// Message-completion-time regression (fine-tuning task 2); the head
-/// takes the encoded window plus the message size as a second input.
-pub struct MctTask<'a> {
-    head: &'a MctHead,
-    ds: &'a MctDataset,
-}
-
-impl<'a> MctTask<'a> {
-    pub fn new(head: &'a MctHead, ds: &'a MctDataset) -> Self {
-        MctTask { head, ds }
-    }
-}
-
-impl Task for MctTask<'_> {
-    fn name(&self) -> &'static str {
-        "mct"
-    }
-
-    fn len(&self) -> usize {
-        self.ds.len()
-    }
-
-    fn head_params(&self) -> Vec<Param> {
-        self.head.params()
-    }
-
-    fn target_std(&self) -> f32 {
-        self.ds.mct_std()
-    }
-
-    fn batch_loss<'t>(&self, tape: &'t Tape, ntt: &Ntt, idx: &[usize]) -> Var<'t> {
-        let (x, sizes, y) = self.ds.batch(idx);
+        let (x, aux, y) = self.ds.batch_xy(idx);
         let enc = ntt.forward(tape, tape.input(x));
-        let pred = self.head.forward(tape, enc, tape.input(sizes));
+        let pred = self
+            .head
+            .forward_head(tape, enc, aux.map(|a| tape.input(a)));
         pred.mse_loss(&y)
     }
 }
+
+/// Masked-delay prediction (pre-training, and fine-tuning case 1).
+pub type DelayTask<'a> = HeadTask<'a, crate::model::DelayHead, ntt_data::DelayDataset>;
+
+/// Message-completion-time regression (fine-tuning task 2).
+pub type MctTask<'a> = HeadTask<'a, crate::model::MctHead, ntt_data::MctDataset>;
+
+/// Per-window drop-count regression (the §5 telemetry task).
+pub type DropTask<'a> = HeadTask<'a, crate::model::DropHead, ntt_data::DropDataset>;

@@ -619,11 +619,28 @@ mod tests {
     }
 
     #[test]
-    fn delay_and_mct_tasks_conform() {
+    fn delay_mct_and_drop_tasks_conform() {
         let (ntt, head, mct_head) = tiny_model();
-        let (train, _, mct) = tiny_datasets();
+        let (train, test, mct) = tiny_datasets();
         assert_task_conforms(&crate::task::DelayTask::new(&head, &train), &ntt);
         assert_task_conforms(&crate::task::MctTask::new(&mct_head, &mct), &ntt);
+        let (drop_train, _) = ntt_data::DropDataset::build(&train, &test);
+        let drop_head = crate::model::DropHead::new(16, 9);
+        assert_task_conforms(&crate::task::DropTask::new(&drop_head, &drop_train), &ntt);
+    }
+
+    #[test]
+    fn head_task_drives_trait_objects() {
+        // The pipeline holds checkpoint-reconstructed heads as
+        // `Box<dyn Head>`; the generic task must accept them unsized.
+        use ntt_nn::Head;
+        let (ntt, head, _) = tiny_model();
+        let (train_ds, _, _) = tiny_datasets();
+        let boxed: Box<dyn Head> = Box::new(head);
+        let task = crate::task::HeadTask::new(boxed.as_ref(), &train_ds);
+        let report = train(&ntt, &task, &quick_cfg(), TrainMode::DecoderOnly);
+        assert!(report.final_loss().is_finite());
+        assert!(report.trainable_params > 0);
     }
 
     #[test]

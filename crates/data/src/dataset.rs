@@ -34,6 +34,11 @@ pub struct PacketView {
     pub receiver: f32,
     /// End-to-end delay in seconds.
     pub delay: f32,
+    /// Whether the delivered copy was a retransmission — i.e. an
+    /// earlier copy was dropped. Not a model input feature (the paper's
+    /// four channels stay as they are); it is the target of the
+    /// drop-count task (§5 "telemetry data like packet drops").
+    pub retransmit: bool,
 }
 
 /// Anchor for one completed message.
@@ -73,6 +78,7 @@ impl RunData {
                 size: p.size_bytes as f32,
                 receiver: p.receiver_group as f32,
                 delay: (p.delay_ns as f64 / 1e9) as f32,
+                retransmit: p.retransmit,
             })
             .collect();
         // First-arrival index per (flow, msg) for MCT anchoring.

@@ -26,9 +26,11 @@
 mod dataset;
 mod features;
 mod normalize;
+mod task;
 
 pub use dataset::{
     BatchIter, DatasetConfig, DelayDataset, MctDataset, MsgAnchor, PacketView, RunData, TraceData,
 };
 pub use features::{FeatureMask, CH_DELAY, CH_RECEIVER, CH_SIZE, CH_TIME, NUM_FEATURES};
 pub use normalize::Normalizer;
+pub use task::{DropDataset, TaskDataset};

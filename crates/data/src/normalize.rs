@@ -60,8 +60,26 @@ impl Normalizer {
         }
     }
 
+    /// Rebuild from stored statistics (checkpoint deserialization —
+    /// sharing a model means sharing the scaler it was trained with).
+    pub fn from_stats(mean: Vec<f32>, std: Vec<f32>) -> Self {
+        assert_eq!(mean.len(), std.len(), "ragged statistics");
+        assert!(!mean.is_empty(), "empty statistics");
+        Normalizer { mean, std }
+    }
+
     pub fn channels(&self) -> usize {
         self.mean.len()
+    }
+
+    /// Per-channel means (checkpoint serialization).
+    pub fn means(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Per-channel stds (checkpoint serialization).
+    pub fn stds(&self) -> &[f32] {
+        &self.std
     }
 
     /// Mean of one channel.

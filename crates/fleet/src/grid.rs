@@ -133,6 +133,20 @@ impl SweepSpec {
         self
     }
 
+    /// One-line human/provenance description of the grid, e.g.
+    /// `"pretrain+case1 x loads [0.5, 1.0] x 2 runs (seed 7, Mixed)"`.
+    pub fn describe(&self) -> String {
+        let scenarios: Vec<String> = self.scenarios.iter().map(|s| s.label()).collect();
+        format!(
+            "{} x loads {:?} x {} runs (seed {}, {:?})",
+            scenarios.join("+"),
+            self.load_factors,
+            self.runs_per_cell,
+            self.base_seed,
+            self.seed_schedule,
+        )
+    }
+
     /// Number of shards the grid expands to.
     pub fn len(&self) -> usize {
         self.scenarios.len() * self.load_factors.len() * self.runs_per_cell

@@ -59,10 +59,18 @@ fn eight_shards_identical_on_one_and_four_threads() {
 }
 
 #[test]
-fn run_many_parallel_matches_serial_run_many() {
+fn run_many_parallel_matches_the_serial_reference() {
+    // The legacy `run_many` contract, spelled out as an inline serial
+    // loop (seeds `cfg.seed, cfg.seed+1, ...`): the parallel path must
+    // reproduce it byte for byte at any thread count.
     let cfg = fast_cfg(7);
-    #[allow(deprecated)]
-    let serial = ntt_sim::scenarios::run_many(Scenario::Case1, &cfg, 3);
+    let serial: Vec<_> = (0..3u64)
+        .map(|i| {
+            let mut c = cfg;
+            c.seed = cfg.seed + i;
+            ntt_sim::scenarios::run(Scenario::Case1, &c)
+        })
+        .collect();
     let fleet = run_many_parallel(Scenario::Case1, &cfg, 3, 4);
     assert_eq!(serial.len(), fleet.len());
     for (a, b) in serial.iter().zip(fleet.iter()) {

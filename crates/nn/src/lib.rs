@@ -24,6 +24,7 @@
 mod activation;
 mod attention;
 mod dropout;
+mod head;
 pub mod init;
 mod linear;
 mod mlp;
@@ -36,6 +37,7 @@ mod transformer;
 pub use activation::Activation;
 pub use attention::MultiHeadAttention;
 pub use dropout::Dropout;
+pub use head::Head;
 pub use linear::Linear;
 pub use mlp::Mlp;
 pub use module::Module;

@@ -7,15 +7,13 @@
 //! Run: `cargo run --release --example collaborative_pretraining`
 
 use ntt::core::federated::weighted_average_params;
-use ntt::core::{
-    eval_delay, train_delay, Aggregation, DelayHead, Ntt, NttConfig, TrainConfig, TrainMode,
-};
-use ntt::data::{DatasetConfig, DelayDataset, TraceData};
+use ntt::core::{Aggregation, Experiment, FinetuneOpts, NttConfig, TrainConfig};
+use ntt::data::TraceData;
 use ntt::nn::Module;
 use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
 
 fn main() {
-    let cfg = NttConfig {
+    let exp = Experiment::new(NttConfig {
         aggregation: Aggregation::MultiScale { block: 1 }, // 64-pkt windows
         d_model: 16,
         n_heads: 2,
@@ -23,19 +21,15 @@ fn main() {
         d_ff: 32,
         seed: 1,
         ..NttConfig::default()
-    };
-    let ds_cfg = DatasetConfig {
-        seq_len: 64,
-        stride: 8,
-        test_fraction: 0.2,
-    };
-    let tc = TrainConfig {
+    })
+    .stride(8)
+    .with_train(TrainConfig {
         epochs: 3,
         batch_size: 32,
         lr: 2e-3,
         max_steps_per_epoch: Some(25),
         ..TrainConfig::default()
-    };
+    });
 
     // Two organizations observe *different* networks (different seeds
     // here; in the vision, different real deployments).
@@ -47,48 +41,55 @@ fn main() {
         org_b_trace.packets.len()
     );
 
-    // Each trains locally. The same architecture + seed means the sites
-    // start from the same initialization (a standard FedAvg assumption).
-    let (ds_a, test_a) = DelayDataset::build(TraceData::from_traces(&[org_a_trace]), ds_cfg, None);
-    let (ds_b, test_b) = DelayDataset::build(TraceData::from_traces(&[org_b_trace]), ds_cfg, None);
-    let model_a = Ntt::new(cfg);
-    let head_a = DelayHead::new(16, 1);
-    let model_b = Ntt::new(cfg);
-    let head_b = DelayHead::new(16, 1);
-    train_delay(&model_a, &head_a, &ds_a, &tc, TrainMode::Full);
-    train_delay(&model_b, &head_b, &ds_b, &tc, TrainMode::Full);
+    // Each trains locally through the same pipeline. The same
+    // architecture + seed means the sites start from the same
+    // initialization (a standard FedAvg assumption).
+    let data_a = TraceData::from_traces(&[org_a_trace]);
+    let data_b = TraceData::from_traces(&[org_b_trace]);
+    let pre_a = exp.pretrain_on(data_a.clone(), "org A: pretrain".into(), None);
+    let pre_b = exp.pretrain_on(data_b.clone(), "org B: case1".into(), None);
     println!(
         "local models: A on-site MSE {:.4}, B on-site MSE {:.4}",
-        eval_delay(&model_a, &head_a, &test_a, 32).mse_norm,
-        eval_delay(&model_b, &head_b, &test_b, 32).mse_norm,
+        pre_a.eval.unwrap().mse_norm,
+        pre_b.eval.unwrap().mse_norm,
     );
     // Cross-site *without* sharing: each model on the other's network.
-    let a_on_b = eval_delay(&model_a, &head_a, &test_b, 32).mse_norm;
-    let b_on_a = eval_delay(&model_b, &head_b, &test_a, 32).mse_norm;
-    println!("cross-site (no sharing): A->B {a_on_b:.4}, B->A {b_on_a:.4}");
+    println!(
+        "cross-site (no sharing): A->B {:.4}, B->A {:.4}",
+        pre_a.eval_delay_on(data_b.clone()).mse_norm,
+        pre_b.eval_delay_on(data_a.clone()).mse_norm,
+    );
 
     // Share parameters only; weight by local dataset size.
-    let sizes = [ds_a.len() as f64, ds_b.len() as f64];
-    weighted_average_params(&[&model_a as &dyn Module, &model_b], &sizes);
-    weighted_average_params(&[&head_a as &dyn Module, &head_b], &sizes);
+    let windows = |p: &ntt::core::Pretrained| {
+        p.meta("train_windows")
+            .and_then(|w| w.parse::<f64>().ok())
+            .unwrap_or(1.0)
+    };
+    let sizes = [windows(&pre_a), windows(&pre_b)];
+    weighted_average_params(&[&pre_a.model as &dyn Module, &pre_b.model], &sizes);
+    weighted_average_params(
+        &[
+            pre_a.head("delay").unwrap() as &dyn Module,
+            pre_b.head("delay").unwrap(),
+        ],
+        &sizes,
+    );
     println!(
         "federated model: on A {:.4}, on B {:.4} (one model, no data shared)",
-        eval_delay(&model_a, &head_a, &test_a, 32).mse_norm,
-        eval_delay(&model_a, &head_a, &test_b, 32).mse_norm,
+        pre_a.eval_delay_on(data_a).mse_norm,
+        pre_a.eval_delay_on(data_b).mse_norm,
     );
 
-    // A third party with a small dataset fine-tunes the shared model.
+    // A third party with a small dataset fine-tunes the shared model
+    // (pre_a now holds the federated average).
     let third = run(Scenario::Case1, &ScenarioConfig::tiny(203));
-    let (ds_c, test_c) = DelayDataset::build(
+    let ft = pre_a.finetune_on(
         TraceData::from_traces(&[third]),
-        ds_cfg,
-        Some(ds_a.norm.clone()),
+        &FinetuneOpts::decoder_only().fraction(0.10),
     );
-    let small = ds_c.subsample(0.10, 0);
-    train_delay(&model_a, &head_a, &small, &tc, TrainMode::DecoderOnly);
     println!(
         "third party after decoder-only fine-tuning on {} windows: MSE {:.4}",
-        small.len(),
-        eval_delay(&model_a, &head_a, &test_c, 32).mse_norm,
+        ft.train_windows, ft.eval.mse_norm,
     );
 }

@@ -1,17 +1,17 @@
 //! §5 "Continual learning": the Internet drifts — when is a fine-tuned
 //! model outdated, and how cheaply can it be refreshed?
 //!
-//! Three environment phases with growing cross-traffic. A model
-//! fine-tuned in phase 0 degrades as the environment drifts; a cheap
-//! decoder-only refresh on a small slice of fresh data restores it —
-//! without touching the pre-trained trunk.
+//! Three environment phases with growing cross-traffic. The deployed
+//! checkpoint (pre-trained in phase 0) degrades as the environment
+//! drifts; each phase, a cheap decoder-only refresh on a small slice of
+//! fresh data restores it — without ever touching the pre-trained
+//! trunk. The fine-tuning's built-in zero-shot measurement *is* the
+//! staleness number.
 //!
 //! Run: `cargo run --release --example continual_learning`
 
-use ntt::core::{
-    eval_delay, train_delay, Aggregation, DelayHead, Ntt, NttConfig, TrainConfig, TrainMode,
-};
-use ntt::data::{DatasetConfig, DelayDataset, TraceData};
+use ntt::core::{Aggregation, Experiment, FinetuneOpts, NttConfig, TrainConfig};
+use ntt::data::TraceData;
 use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
 use ntt::sim::SimTime;
 
@@ -24,64 +24,58 @@ fn phase_cfg(cross_rate_bps: f64, seed: u64) -> ScenarioConfig {
 }
 
 fn main() {
-    let model_cfg = NttConfig {
+    let exp = Experiment::new(NttConfig {
         aggregation: Aggregation::MultiScale { block: 1 },
         d_model: 16,
         n_heads: 2,
         n_layers: 1,
         d_ff: 32,
         ..NttConfig::default()
-    };
-    let ds_cfg = DatasetConfig {
-        seq_len: 64,
-        stride: 8,
-        test_fraction: 0.3,
-    };
-    let tc = TrainConfig {
+    })
+    .stride(8)
+    .test_fraction(0.3)
+    .with_train(TrainConfig {
         epochs: 3,
         batch_size: 32,
         lr: 2e-3,
         max_steps_per_epoch: Some(25),
         ..TrainConfig::default()
-    };
+    });
 
     // Environment drift: cross-traffic grows phase by phase.
     let phases = [0.5e6, 1.5e6, 3.0e6];
-    let model = Ntt::new(model_cfg);
-    let head = DelayHead::new(16, 0);
 
-    // Train in phase 0.
+    // Train the deployed model in phase 0 (it keeps its scaler for
+    // every later phase — a deployed pipeline does not re-fit).
     let t0 = run(Scenario::Case1, &phase_cfg(phases[0], 301));
-    let (train0, test0) = DelayDataset::build(TraceData::from_traces(&[t0]), ds_cfg, None);
-    train_delay(&model, &head, &train0, &tc, TrainMode::Full);
+    let pre = exp.pretrain_on(
+        TraceData::from_traces(&[t0]),
+        "continual phase 0".into(),
+        None,
+    );
     println!(
         "phase 0 ({} Mbps cross): trained, on-phase MSE {:.4}",
         phases[0] / 1e6,
-        eval_delay(&model, &head, &test0, 32).mse_norm
+        pre.eval.unwrap().mse_norm
     );
 
-    // Drift through later phases: evaluate stale, refresh, re-evaluate.
+    // Drift through later phases: the refresh's zero-shot measurement
+    // is the stale error; its eval is the refreshed error.
     for (i, &rate) in phases.iter().enumerate().skip(1) {
         let trace = run(Scenario::Case1, &phase_cfg(rate, 301 + i as u64));
-        let (train_i, test_i) = DelayDataset::build(
+        let refresh = pre.finetune_on(
             TraceData::from_traces(&[trace]),
-            ds_cfg,
-            Some(train0.norm.clone()), // deployed pipeline keeps its scaler
+            &FinetuneOpts::decoder_only().fraction(0.2).seed(i as u64),
         );
-        let stale = eval_delay(&model, &head, &test_i, 32).mse_norm;
-        // Cheap refresh: decoder-only on 20% of the fresh windows.
-        let slice = train_i.subsample(0.2, i as u64);
-        let rep = train_delay(&model, &head, &slice, &tc, TrainMode::DecoderOnly);
-        let refreshed = eval_delay(&model, &head, &test_i, 32).mse_norm;
         println!(
             "phase {i} ({} Mbps cross): stale MSE {:.4} -> refreshed {:.4} \
              ({} windows, {} params updated, {:.1?})",
             rate / 1e6,
-            stale,
-            refreshed,
-            slice.len(),
-            rep.trainable_params,
-            rep.wall
+            refresh.zero_shot.unwrap().mse_norm,
+            refresh.eval.mse_norm,
+            refresh.train_windows,
+            refresh.report.trainable_params,
+            refresh.report.wall
         );
     }
 

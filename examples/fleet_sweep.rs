@@ -94,4 +94,30 @@ fn main() {
         slowest.wall.as_secs_f64(),
         slowest.events
     );
+
+    // 6. The sweep→training bridge: hand the streamed dataset straight
+    //    to the Experiment pipeline (a short pre-training, to show the
+    //    whole path: grid spec -> fleet -> windows -> trained model).
+    use ntt::core::{Experiment, NttConfig, TrainConfig};
+    let exp = Experiment::new(NttConfig {
+        aggregation: ntt::core::Aggregation::MultiScale { block: 1 },
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        ..NttConfig::default()
+    })
+    .stride(16)
+    .with_train(TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        max_steps_per_epoch: Some(10),
+        ..TrainConfig::default()
+    });
+    let pre = exp.pretrain_on(data, spec.describe(), Some(report));
+    println!(
+        "\npretrained on the sweep: {} windows from 4 topology families, held-out MSE {:.4}",
+        pre.meta("train_windows").unwrap(),
+        pre.eval.unwrap().mse_norm
+    );
 }

@@ -1,82 +1,72 @@
 //! Task transfer (§4, second task): reuse a delay-pre-trained NTT trunk
 //! to predict **message completion times** — a flow-level quantity the
 //! model never saw during pre-training — and compare against the
-//! paper's naive baselines (last-observed and EWMA).
+//! paper's naive baselines (last-observed and EWMA), which the pipeline
+//! computes alongside every fine-tuning.
 //!
 //! Run: `cargo run --release --example mct_prediction`
 
-use ntt::core::baselines::{mct_ewma_mse, mct_last_observed_mse, EWMA_ALPHA};
-use ntt::core::{
-    eval_mct, train_delay, train_mct, Aggregation, DelayHead, MctHead, Ntt, NttConfig, TrainConfig,
-    TrainMode,
-};
-use ntt::data::{DatasetConfig, DelayDataset, MctDataset, TraceData};
-use ntt::fleet::run_many_parallel;
+use ntt::core::{Aggregation, Experiment, FinetuneOpts, NttConfig, TrainConfig};
+use ntt::fleet::SweepSpec;
 use ntt::sim::scenarios::{Scenario, ScenarioConfig};
-use std::sync::Arc;
 
 fn main() {
-    let model_cfg = NttConfig {
+    let exp = Experiment::new(NttConfig {
         aggregation: Aggregation::MultiScale { block: 2 },
         d_model: 32,
         n_heads: 4,
         n_layers: 2,
         d_ff: 64,
         ..NttConfig::default()
-    };
-    let ds_cfg = DatasetConfig {
-        seq_len: model_cfg.seq_len(),
-        stride: 8,
-        test_fraction: 0.2,
-    };
-    let train_cfg = TrainConfig {
+    })
+    .stride(8)
+    .with_train(TrainConfig {
         epochs: 3,
         batch_size: 32,
         lr: 2e-3,
         max_steps_per_epoch: Some(30),
         ..TrainConfig::default()
-    };
+    });
 
-    // Pre-train the trunk on delay prediction.
-    let traces = run_many_parallel(Scenario::Case1, &ScenarioConfig::tiny(5), 2, 0);
-    let data = TraceData::from_traces(&traces);
-    let (d_train, _) = DelayDataset::build(Arc::clone(&data), ds_cfg, None);
-    let model = Ntt::new(model_cfg);
-    let delay_head = DelayHead::new(model_cfg.d_model, 0);
-    train_delay(&model, &delay_head, &d_train, &train_cfg, TrainMode::Full);
+    // Pre-train the trunk on delay prediction, keep the simulated data
+    // around: the MCT fine-tuning anchors messages in the same traces.
+    let (data, fleet) = exp.sweep(&SweepSpec::single(
+        Scenario::Case1,
+        ScenarioConfig::tiny(5),
+        2,
+    ));
+    println!("[fleet] {}", fleet.summary());
+    let pre = exp.pretrain_on(data.clone(), "case1 x2".into(), None);
     println!(
         "trunk pre-trained on masked delay prediction ({} windows)",
-        d_train.len()
+        pre.meta("train_windows").unwrap()
     );
 
-    // Swap the decoder: an MCT head taking (encoded sequence, message size).
-    let (m_train, m_test) = MctDataset::build(data, ds_cfg, d_train.norm.clone());
+    // Swap the decoder: an MCT head taking (encoded sequence, message
+    // size). `finetune_mct` builds the anchored dataset with the shared
+    // normalizer, trains decoder-only, and evaluates vs baselines.
+    let ft = pre.finetune_mct_on(data, &FinetuneOpts::decoder_only());
     println!(
-        "MCT dataset: {} train / {} test anchored messages",
-        m_train.len(),
-        m_test.len()
+        "MCT dataset: {} train anchored messages; {} eval anchors",
+        ft.train_windows, ft.eval.n
     );
-    let mct_head = MctHead::new(model_cfg.d_model, 3);
-    train_mct(
-        &model,
-        &mct_head,
-        &m_train,
-        &train_cfg,
-        TrainMode::DecoderOnly,
-    );
-    let ev = eval_mct(&model, &mct_head, &m_test, 64);
 
-    let lo = mct_last_observed_mse(&m_test);
-    let ew = mct_ewma_mse(&m_test, EWMA_ALPHA);
     println!("\n=== MCT prediction, MSE on ln(seconds) scale ===");
     println!(
         "NTT (delay-pre-trained trunk + new head): {:.4}",
-        ev.mse_raw
+        ft.eval.mse_raw
     );
-    println!("last-observed baseline                  : {lo:.4}");
-    println!("EWMA baseline (a={EWMA_ALPHA})             : {ew:.4}");
+    let mut beats_all = true;
+    for (name, mse) in &ft.baselines {
+        println!("{name:<40}: {mse:.4}");
+        beats_all &= ft.eval.mse_raw < *mse;
+    }
     println!(
         "\nflow-level structure {} packet-level history (paper: NTT 65 vs baselines 2189/1147, x1e-3)",
-        if ev.mse_raw < lo && ev.mse_raw < ew { "captured from" } else { "not yet captured from (tiny scale)" }
+        if beats_all {
+            "captured from"
+        } else {
+            "not yet captured from (tiny scale)"
+        }
     );
 }

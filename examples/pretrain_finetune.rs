@@ -1,124 +1,97 @@
-//! The paper's core workflow (Fig. 1 bottom): pre-train a Network
-//! Traffic Transformer once, share it as a checkpoint, then adapt it to
-//! a *new environment* (unseen cross-traffic) with a small dataset by
+//! The paper's core workflow (Fig. 1 bottom), through the `Experiment`
+//! pipeline: pre-train a Network Traffic Transformer once, share it as
+//! a **self-describing checkpoint**, then adapt it to a *new
+//! environment* (unseen cross-traffic) with a small dataset by
 //! fine-tuning only the decoder — and compare against training from
 //! scratch on the same small dataset.
 //!
+//! The receiving site needs only the checkpoint file: `NTTCKPT2` embeds
+//! the model config, the head descriptors, and the feature normalizer,
+//! so `Pretrained::load` rebuilds everything with zero caller-side
+//! setup.
+//!
 //! Run: `cargo run --release --example pretrain_finetune`
 
-use ntt::core::{
-    checkpoint, eval_delay, train_delay, Aggregation, DelayHead, Ntt, NttConfig, TrainConfig,
-    TrainMode,
-};
-use ntt::data::{DatasetConfig, DelayDataset, TraceData};
-use ntt::fleet::run_many_parallel;
+use ntt::core::{Aggregation, Experiment, FinetuneOpts, NttConfig, Pretrained, TrainConfig};
+use ntt::fleet::SweepSpec;
 use ntt::sim::scenarios::{Scenario, ScenarioConfig};
 
 fn main() {
-    let model_cfg = NttConfig {
+    let exp = Experiment::new(NttConfig {
         aggregation: Aggregation::MultiScale { block: 2 }, // 112-pkt windows
         d_model: 32,
         n_heads: 4,
         n_layers: 2,
         d_ff: 64,
         ..NttConfig::default()
-    };
-    let ds_cfg = DatasetConfig {
-        seq_len: model_cfg.seq_len(),
-        stride: 8,
-        test_fraction: 0.2,
-    };
-    let train_cfg = TrainConfig {
+    })
+    .stride(8)
+    .with_train(TrainConfig {
         epochs: 3,
         batch_size: 32,
         lr: 2e-3,
         max_steps_per_epoch: Some(30),
         ..TrainConfig::default()
-    };
+    });
 
     // ---- Phase 1: pre-train on the plain bottleneck environment ----
-    let pre_traces = run_many_parallel(Scenario::Pretrain, &ScenarioConfig::tiny(1), 2, 0);
-    let (pre_train, pre_test) =
-        DelayDataset::build(TraceData::from_traces(&pre_traces), ds_cfg, None);
-    let model = Ntt::new(model_cfg);
-    let head = DelayHead::new(model_cfg.d_model, 1);
-    let rep = train_delay(&model, &head, &pre_train, &train_cfg, TrainMode::Full);
-    let pre_ev = eval_delay(&model, &head, &pre_test, 64);
+    let pre = exp.pretrain(&SweepSpec::single(
+        Scenario::Pretrain,
+        ScenarioConfig::tiny(1),
+        2,
+    ));
+    let report = pre.report.as_ref().expect("pretrain reports");
     println!(
         "pre-training: {} windows, {} steps, {:.1?}; test MSE {:.4}",
-        pre_train.len(),
-        rep.steps,
-        rep.wall,
-        pre_ev.mse_norm
+        pre.meta("train_windows").unwrap_or("?"),
+        report.steps,
+        report.wall,
+        pre.eval.expect("pretrain evaluates").mse_norm
     );
 
-    // ---- Share the model: save + reload (Fig. 1's 'download a
-    //      pre-trained model' step) ----
+    // ---- Share the model (Fig. 1's 'download a pre-trained model'):
+    //      one file carries weights, config, heads, normalizer ----
     let ckpt = std::env::temp_dir().join("ntt_example_pretrained.ckpt");
-    checkpoint::save(&ckpt, &[&model, &head]).expect("save checkpoint");
+    pre.save(&ckpt).expect("save checkpoint");
     println!("checkpoint written to {}", ckpt.display());
 
-    // ---- Phase 2: a new environment (cross-traffic) with little data ----
-    let ft_traces = run_many_parallel(Scenario::Case1, &ScenarioConfig::tiny(2), 2, 0);
-    let (ft_train_all, ft_test) = DelayDataset::build(
-        TraceData::from_traces(&ft_traces),
-        ds_cfg,
-        Some(pre_train.norm.clone()),
-    );
-    let ft_small = ft_train_all.subsample(0.10, 0);
+    // ---- Phase 2: a new environment (cross-traffic) with little data.
+    //      `load` needs nothing but the file. ----
+    let shared = Pretrained::load(&ckpt).expect("load checkpoint");
     println!(
-        "fine-tuning dataset: {} windows ({} before subsampling to 10%)",
-        ft_small.len(),
-        ft_train_all.len()
+        "loaded: d_model {}, heads {:?}, pre-trained on {:?}",
+        shared.model.cfg.d_model,
+        shared.heads.iter().map(|h| h.kind()).collect::<Vec<_>>(),
+        shared.meta("scenario_grid").unwrap_or("?"),
+    );
+    let ft_spec = SweepSpec::single(Scenario::Case1, ScenarioConfig::tiny(2), 2);
+    let ft = shared.finetune(&ft_spec, &FinetuneOpts::decoder_only().fraction(0.10));
+    println!(
+        "fine-tuning dataset: {} windows (10% subsample)",
+        ft.train_windows
     );
 
-    // Zero-shot: the pre-trained model, untouched, on the new traffic.
-    let zero_shot = eval_delay(&model, &head, &ft_test, 64);
-
-    // Fine-tune the decoder only.
-    let downloaded = Ntt::new(model_cfg);
-    let downloaded_head = DelayHead::new(model_cfg.d_model, 99);
-    checkpoint::load(&ckpt, &[&downloaded, &downloaded_head]).expect("load checkpoint");
-    let ft_rep = train_delay(
-        &downloaded,
-        &downloaded_head,
-        &ft_small,
-        &train_cfg,
-        TrainMode::DecoderOnly,
-    );
-    let ft_ev = eval_delay(&downloaded, &downloaded_head, &ft_test, 64);
-
-    // From scratch on the same 10%.
-    let scratch = Ntt::new(NttConfig {
-        seed: 7,
-        ..model_cfg
-    });
-    let scratch_head = DelayHead::new(model_cfg.d_model, 7);
-    let (s_train_all, s_test) =
-        DelayDataset::build(TraceData::from_traces(&ft_traces), ds_cfg, None);
-    let s_small = s_train_all.subsample(0.10, 0);
-    let s_rep = train_delay(
-        &scratch,
-        &scratch_head,
-        &s_small,
-        &train_cfg,
-        TrainMode::Full,
-    );
-    let s_ev = eval_delay(&scratch, &scratch_head, &s_test, 64);
+    // From scratch on the same 10% (its own seeds, its own scaler).
+    let mut scratch_exp = exp;
+    scratch_exp.model.seed ^= 7;
+    let s = scratch_exp.scratch(&ft_spec, &FinetuneOpts::full().fraction(0.10));
 
     println!("\n=== unseen cross-traffic environment, delay MSE (normalized) ===");
-    println!("zero-shot pre-trained        : {:.4}", zero_shot.mse_norm);
+    println!(
+        "zero-shot pre-trained        : {:.4}",
+        ft.zero_shot.expect("finetune measures zero-shot").mse_norm
+    );
     println!(
         "fine-tuned decoder-only (10%) : {:.4}  [{} trainable params, {:.1?}]",
-        ft_ev.mse_norm, ft_rep.trainable_params, ft_rep.wall
+        ft.eval.mse_norm, ft.report.trainable_params, ft.report.wall
     );
     println!(
         "from scratch (10%)            : {:.4}  [{} trainable params, {:.1?}]",
-        s_ev.mse_norm, s_rep.trainable_params, s_rep.wall
+        s.eval.mse_norm, s.report.trainable_params, s.report.wall
     );
     println!(
         "\npre-training {} fine-tuning here (paper's Table 1/2 finding at miniature scale)",
-        if ft_ev.mse_norm <= s_ev.mse_norm {
+        if ft.eval.mse_norm <= s.eval.mse_norm {
             "beats"
         } else {
             "does not beat (tiny-scale noise!)"

@@ -1,13 +1,11 @@
 //! Quickstart: simulate a congested network, train a small Network
-//! Traffic Transformer to predict packet delays, and inspect the
-//! realized Fig. 3 pipeline stage by stage.
+//! Traffic Transformer to predict packet delays through the
+//! `Experiment` pipeline, and inspect the realized Fig. 3 stages.
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use ntt::core::{
-    eval_delay, train_delay, Aggregation, DelayHead, Ntt, NttConfig, TrainConfig, TrainMode,
-};
-use ntt::data::{DatasetConfig, DelayDataset, TraceData, NUM_FEATURES};
+use ntt::core::{Aggregation, Experiment, NttConfig, TrainConfig};
+use ntt::data::{TraceData, NUM_FEATURES};
 use ntt::nn::Module;
 use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
 use ntt::tensor::Tape;
@@ -23,57 +21,36 @@ fn main() {
         trace.drops
     );
 
-    // 2. Slice the trace into training windows: each sample is the
-    //    sequence of the 112 most recent packets; the target is the
-    //    masked delay of the newest one.
-    let model_cfg = NttConfig {
+    // 2. Declare the experiment: the model config implies the window
+    //    length (112 packets here); the pipeline derives everything
+    //    else — dataset windows, normalization, seeds.
+    let exp = Experiment::new(NttConfig {
         aggregation: Aggregation::MultiScale { block: 2 }, // 112-packet windows
         d_model: 32,
         n_heads: 4,
         n_layers: 2,
         d_ff: 64,
         ..NttConfig::default()
-    };
-    let data = TraceData::from_traces(&[trace]);
-    let ds_cfg = DatasetConfig {
-        seq_len: model_cfg.seq_len(),
-        stride: 8,
-        test_fraction: 0.2,
-    };
-    let (train, test) = DelayDataset::build(data, ds_cfg, None);
-    println!("windows: {} train / {} test", train.len(), test.len());
-
-    // 3. Build the NTT and walk one batch through the Fig. 3 stages.
-    let model = Ntt::new(model_cfg);
-    let head = DelayHead::new(model_cfg.d_model, 0);
-    println!(
-        "model: {} parameters (trunk) + {} (delay head)",
-        model.num_params(),
-        head.num_params()
-    );
-    {
-        let tape = Tape::new();
-        let (x, _) = train.batch(&[0, 1]);
-        let (b, t) = (x.shape()[0], x.shape()[1]);
-        let encoded = model.forward(&tape, tape.input(x));
-        let enc_shape = encoded.shape();
-        let pred = head.forward(&tape, encoded);
-        println!(
-            "stages: input [B={b}, T={t}, F={NUM_FEATURES}] -> encoder output {:?} -> prediction {:?}",
-            enc_shape,
-            pred.shape(),
-        );
-    }
-
-    // 4. Train briefly and evaluate.
-    let t_cfg = TrainConfig {
+    })
+    .stride(8)
+    .with_train(TrainConfig {
         epochs: 3,
         batch_size: 32,
         lr: 2e-3,
         max_steps_per_epoch: Some(25),
         ..TrainConfig::default()
-    };
-    let report = train_delay(&model, &head, &train, &t_cfg, TrainMode::Full);
+    });
+
+    // 3. Train + evaluate in one call (sweep → windows → model → loop).
+    let data = TraceData::from_traces(&[trace]);
+    let pre = exp.pretrain_on(data.clone(), "quickstart: pretrain x1".into(), None);
+    let report = pre.report.as_ref().unwrap();
+    println!(
+        "windows: {} train; model: {} parameters (trunk) + {} (delay head)",
+        pre.meta("train_windows").unwrap(),
+        pre.model.num_params(),
+        pre.head("delay").unwrap().num_params(),
+    );
     println!(
         "training: loss per epoch {:?} ({} steps, {:.1?})",
         report
@@ -84,16 +61,34 @@ fn main() {
         report.steps,
         report.wall
     );
-    let ev = eval_delay(&model, &head, &test, 64);
+    let ev = pre.eval.unwrap();
     println!(
         "held-out delay MSE: {:.4} (normalized) = {:.3e} s^2 (raw), over {} windows",
         ev.mse_norm, ev.mse_raw, ev.n
     );
 
+    // 4. Walk one batch through the Fig. 3 stages by hand — the
+    //    pipeline is sugar over these calls, not a wall around them.
+    let (_, test) = exp.delay_datasets(data, Some(pre.norm.clone()));
+    let head = pre.head("delay").unwrap();
+    {
+        let tape = Tape::new();
+        let (x, _) = test.batch(&[0, 1]);
+        let (b, t) = (x.shape()[0], x.shape()[1]);
+        let encoded = pre.model.forward(&tape, tape.input(x));
+        let enc_shape = encoded.shape();
+        let pred = head.forward_head(&tape, encoded, None);
+        println!(
+            "stages: input [B={b}, T={t}, F={NUM_FEATURES}] -> encoder output {:?} -> prediction {:?}",
+            enc_shape,
+            pred.shape(),
+        );
+    }
+
     // 5. Predict a single window and compare against the truth.
     let (x, _) = test.batch(&[0]);
     let tape = Tape::new();
-    let pred = head.forward(&tape, model.forward(&tape, tape.input(x)));
+    let pred = head.forward_head(&tape, pre.model.forward(&tape, tape.input(x)), None);
     let pred_secs = test.denorm_delay(pred.value().item());
     println!(
         "sample prediction: {:.2} ms vs actual {:.2} ms",

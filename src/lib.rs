@@ -9,7 +9,10 @@
 //! * [`nn`] — layers, attention, transformer encoder, optimizers
 //! * [`sim`] — deterministic packet-level network simulator (ns-3 substitute)
 //! * [`data`] — traces → training windows (features, splits, normalization)
-//! * [`core`] — the NTT model, trainer, baselines, checkpoints, federated averaging
+//! * [`core`] — the NTT model, the task-generic trainer, baselines,
+//!   self-describing checkpoints (`NTTCKPT2`), federated averaging, and
+//!   the `Experiment` pipeline (sweep → pretrain → share → fine-tune in
+//!   a few calls)
 //! * [`fleet`] — parallel scenario-fleet engine: declarative sweep
 //!   grids over (scenario × topology × load × seed), a work-stealing
 //!   executor, and streaming trace ingestion

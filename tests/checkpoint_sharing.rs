@@ -62,6 +62,40 @@ fn shared_checkpoint_reproduces_evaluation_exactly() {
 }
 
 #[test]
+fn self_describing_checkpoint_shares_without_any_receiver_setup() {
+    // The v2 sharing story: the receiver has the FILE and nothing else —
+    // no NttConfig, no pre-built heads, no normalizer — and still gets a
+    // bit-identical evaluation.
+    use ntt::core::{Checkpoint, Experiment, TrainConfig};
+    use ntt::data::TraceData;
+
+    let trace = run(Scenario::Pretrain, &ScenarioConfig::tiny(56));
+    let data = TraceData::from_traces(&[trace]);
+    let exp = Experiment::new(cfg()).stride(8).with_train(TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        max_steps_per_epoch: Some(10),
+        ..TrainConfig::default()
+    });
+    let pre = exp.pretrain_on(data.clone(), "sharing test".into(), None);
+    let before = pre.eval_delay_on(data.clone());
+
+    let path = std::env::temp_dir().join(format!("ntt_share_v2_{}.ckpt", std::process::id()));
+    pre.save(&path).unwrap();
+
+    // Receiver side: file → runnable (Ntt, heads, norm, provenance).
+    let loaded = Checkpoint::load(&path).unwrap();
+    assert_eq!(loaded.model.cfg.d_model, cfg().d_model);
+    assert_eq!(loaded.heads.len(), 1);
+    assert!(loaded.norm.is_some(), "normalizer travels with the model");
+    assert!(loaded.provenance.iter().any(|(k, _)| k == "scenario_grid"));
+    let shared = ntt::core::Pretrained::load(&path).unwrap();
+    let after = shared.eval_delay_on(data);
+    assert_eq!(before.mse_norm, after.mse_norm, "bit-exact behaviour");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn checkpoint_rejects_architecture_mismatch() {
     let model = Ntt::new(cfg());
     let path = std::env::temp_dir().join(format!("ntt_arch_{}.ckpt", std::process::id()));

@@ -8,6 +8,150 @@ use ntt::data::{DatasetConfig, DelayDataset, TraceData};
 use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
 
 #[test]
+fn experiment_pipeline_reproduces_manual_workflow_bit_exactly() {
+    // The API redesign is behavior-preserving: a seeded pretrain →
+    // share → fine-tune run through `Experiment` must produce the SAME
+    // bits — epoch losses, gradient norms, final parameters, eval MSE —
+    // as the hand-wired free-function workflow it replaced.
+    use ntt::core::{eval_delay, Experiment, FinetuneOpts};
+    use ntt::fleet::{run_many_parallel, SweepSpec};
+    use ntt::nn::Module;
+    use ntt::sim::SimTime;
+
+    let model_cfg = NttConfig {
+        aggregation: Aggregation::MultiScale { block: 1 },
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        dropout: 0.1, // exercise the stochastic path too
+        seed: 41,
+        ..NttConfig::default()
+    };
+    let ds_cfg = DatasetConfig {
+        seq_len: 64,
+        stride: 8,
+        test_fraction: 0.2,
+    };
+    let train_cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        lr: 2e-3,
+        max_steps_per_epoch: Some(6),
+        ..TrainConfig::default()
+    };
+    let mut pre_scen = ScenarioConfig::tiny(71);
+    pre_scen.duration = SimTime::from_millis(1500);
+    let mut ft_scen = ScenarioConfig::tiny(72);
+    ft_scen.duration = SimTime::from_millis(1500);
+
+    // ---- Manual path: the pre-redesign boilerplate, spelled out ----
+    let traces = run_many_parallel(Scenario::Pretrain, &pre_scen, 2, 0);
+    let (m_train, m_test) = DelayDataset::build(TraceData::from_traces(&traces), ds_cfg, None);
+    let model = Ntt::new(model_cfg);
+    let head = DelayHead::new(model_cfg.d_model, model_cfg.seed);
+    let manual_pre = train_delay(&model, &head, &m_train, &train_cfg, TrainMode::Full);
+    let manual_pre_eval = eval_delay(&model, &head, &m_test, 64);
+
+    let ft_traces = run_many_parallel(Scenario::Case1, &ft_scen, 2, 0);
+    let (ft_all, ft_test) = DelayDataset::build(
+        TraceData::from_traces(&ft_traces),
+        ds_cfg,
+        Some(m_train.norm.clone()),
+    );
+    let ft_small = ft_all.subsample(0.5, 0);
+    let manual_ft = train_delay(&model, &head, &ft_small, &train_cfg, TrainMode::DecoderOnly);
+    let manual_ft_eval = eval_delay(&model, &head, &ft_test, 64);
+
+    // ---- Pipeline path: the same seeds through Experiment ----
+    let exp = Experiment::new(model_cfg).stride(8).with_train(train_cfg);
+    let pre = exp.pretrain(&SweepSpec::single(Scenario::Pretrain, pre_scen, 2));
+    let pre_report = pre.report.as_ref().unwrap();
+    assert_eq!(
+        pre_report.epoch_losses, manual_pre.epoch_losses,
+        "pre-training losses diverged from the manual workflow"
+    );
+    assert_eq!(pre_report.grad_norms, manual_pre.grad_norms);
+    assert_eq!(pre.eval.unwrap().mse_norm, manual_pre_eval.mse_norm);
+
+    let ft = pre.finetune(
+        &SweepSpec::single(Scenario::Case1, ft_scen, 2),
+        &FinetuneOpts::decoder_only().fraction(0.5).seed(0),
+    );
+    assert_eq!(
+        ft.report.epoch_losses, manual_ft.epoch_losses,
+        "fine-tuning losses diverged from the manual workflow"
+    );
+    assert_eq!(ft.report.grad_norms, manual_ft.grad_norms);
+    assert_eq!(ft.eval.mse_norm, manual_ft_eval.mse_norm);
+
+    // Final parameters byte-for-byte: trunk and head.
+    for (a, b) in model
+        .params()
+        .iter()
+        .chain(head.params().iter())
+        .zip(ft.model.params().iter().chain(ft.head.params().iter()))
+    {
+        let (av, bv) = (a.value(), b.value());
+        assert_eq!(av.shape(), bv.shape());
+        for (x, y) in av.data().iter().zip(bv.data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "param {} diverged", a.name());
+        }
+    }
+}
+
+#[test]
+fn experiment_checkpoint_roundtrip_preserves_every_bit() {
+    // Sharing through NTTCKPT2 must be invisible: the loaded model
+    // fine-tunes to the same bits as the in-memory one.
+    use ntt::core::{Experiment, FinetuneOpts, Pretrained};
+    use ntt::fleet::SweepSpec;
+    use ntt::sim::SimTime;
+
+    let mut scen = ScenarioConfig::tiny(81);
+    scen.duration = SimTime::from_millis(1200);
+    let mut ft_scen = ScenarioConfig::tiny(82);
+    ft_scen.duration = SimTime::from_millis(1200);
+
+    let exp = Experiment::new(NttConfig {
+        aggregation: Aggregation::MultiScale { block: 1 },
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        seed: 51,
+        ..NttConfig::default()
+    })
+    .stride(8)
+    .with_train(TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        max_steps_per_epoch: Some(5),
+        ..TrainConfig::default()
+    });
+    let pre = exp.pretrain(&SweepSpec::single(Scenario::Pretrain, scen, 1));
+    let path = std::env::temp_dir().join(format!("ntt_det_ckpt_{}.ckpt", std::process::id()));
+    pre.save(&path).unwrap();
+    let mut shared = Pretrained::load(&path).unwrap();
+    // Model, heads, normalizer, and window geometry travel in the file;
+    // the training-loop parameters are the fine-tuning site's own
+    // choice — make the same choice on both sides.
+    shared.exp.train = pre.exp.train;
+
+    let spec = SweepSpec::single(Scenario::Case1, ft_scen, 1);
+    let opts = FinetuneOpts::decoder_only();
+    let direct = pre.finetune(&spec, &opts);
+    let via_file = shared.finetune(&spec, &opts);
+    assert_eq!(direct.report.epoch_losses, via_file.report.epoch_losses);
+    assert_eq!(direct.eval.mse_norm, via_file.eval.mse_norm);
+    assert_eq!(
+        direct.zero_shot.unwrap().mse_norm,
+        via_file.zero_shot.unwrap().mse_norm
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn simulation_is_bit_reproducible() {
     let a = run(Scenario::Case1, &ScenarioConfig::tiny(9));
     let b = run(Scenario::Case1, &ScenarioConfig::tiny(9));
