@@ -101,6 +101,11 @@ fn main() {
     eprintln!("  total    : {total_wall:.2}s end to end");
 
     let mut json = String::from("{\n  \"bench\": \"pipeline_e2e\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host\": {},",
+        ntt_bench::report::host_context_json()
+    );
     let _ = writeln!(json, "  \"seq_len\": {},", exp.model.seq_len());
     let _ = writeln!(json, "  \"d_model\": {},", exp.model.d_model);
     let _ = writeln!(json, "  \"pretrain_shards\": {},", pre_spec.len());

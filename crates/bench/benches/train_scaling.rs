@@ -13,59 +13,10 @@
 //!
 //! Run: `cargo bench -p ntt-bench --bench train_scaling`
 
-use ntt_core::{train, DelayHead, Ntt, NttConfig, ParStrategy, Task, TrainConfig, TrainMode};
-use ntt_data::NUM_FEATURES;
-use ntt_nn::Module;
-use ntt_tensor::{Param, Tape, Tensor, Var};
+use ntt_bench::synth::SynthTask;
+use ntt_core::{train, Ntt, NttConfig, ParStrategy, TrainConfig, TrainMode};
 use std::fmt::Write as _;
 use std::time::Instant;
-
-/// Random windows + zero targets: the delay task's shapes without its
-/// simulation cost.
-struct SynthTask {
-    head: DelayHead,
-    windows: Tensor, // [N, seq, F]
-    seq: usize,
-}
-
-impl SynthTask {
-    fn new(n: usize, seq: usize, d_model: usize, seed: u64) -> Self {
-        SynthTask {
-            head: DelayHead::new(d_model, seed),
-            windows: Tensor::randn(&[n, seq, NUM_FEATURES], seed ^ 0xbe),
-            seq,
-        }
-    }
-}
-
-impl Task for SynthTask {
-    fn name(&self) -> &'static str {
-        "synth-delay"
-    }
-
-    fn len(&self) -> usize {
-        self.windows.shape()[0]
-    }
-
-    fn head_params(&self) -> Vec<Param> {
-        self.head.params()
-    }
-
-    fn target_std(&self) -> f32 {
-        1.0
-    }
-
-    fn batch_loss<'t>(&self, tape: &'t Tape, ntt: &Ntt, idx: &[usize]) -> Var<'t> {
-        let row = self.seq * NUM_FEATURES;
-        let mut x = Vec::with_capacity(idx.len() * row);
-        for &i in idx {
-            x.extend_from_slice(&self.windows.data()[i * row..(i + 1) * row]);
-        }
-        let x = Tensor::from_vec(x, &[idx.len(), self.seq, NUM_FEATURES]);
-        let pred = self.head.forward(tape, ntt.forward(tape, tape.input(x)));
-        pred.mse_loss(&Tensor::zeros(&[idx.len(), 1]))
-    }
-}
 
 fn main() {
     // `cargo bench` passes harness flags (e.g. --bench); ignore them.
@@ -152,6 +103,11 @@ fn main() {
     eprintln!("  losses bit-identical across all thread counts ✓");
 
     let mut json = String::from("{\n  \"bench\": \"train_scaling\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host\": {},",
+        ntt_bench::report::host_context_json()
+    );
     let _ = writeln!(json, "  \"model\": \"paper\",");
     let _ = writeln!(json, "  \"seq_len\": {seq},");
     let _ = writeln!(json, "  \"batch_size\": {batch_size},");

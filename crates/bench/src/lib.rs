@@ -15,3 +15,4 @@
 
 pub mod report;
 pub mod runner;
+pub mod synth;

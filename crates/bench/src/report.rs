@@ -112,6 +112,45 @@ pub fn fmt_duration(secs: f64) -> String {
     }
 }
 
+/// Host context as a JSON object string: core count, `NTT_THREADS`, and
+/// the CPU model when readable. Embedded in every `BENCH_*.json` so a
+/// number in the perf trajectory is interpretable — a ≤1× thread-scaling
+/// "speedup" measured on a 1-core container reads very differently from
+/// the same number on a 16-core box.
+pub fn host_context_json() -> String {
+    // Minimal JSON string escaping so arbitrary env/cpuinfo content
+    // cannot corrupt the artifact.
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '\\' => vec!['\\', '\\'],
+                '"' => vec!['\\', '"'],
+                '\n' | '\r' | '\t' => vec![' '],
+                c if (c as u32) < 0x20 => vec![],
+                c => vec![c],
+            })
+            .collect()
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let ntt_threads = std::env::var("NTT_THREADS").unwrap_or_else(|_| "unset".into());
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into());
+    format!(
+        "{{\"cores\": {cores}, \"ntt_threads\": \"{}\", \"cpu_model\": \"{}\"}}",
+        esc(&ntt_threads),
+        esc(&cpu_model)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +190,30 @@ mod tests {
     fn e3_matches_paper_convention() {
         assert_eq!(fmt_e3(0.000072), "0.072");
         assert_eq!(fmt_e3(0.0152), "15.200");
+    }
+
+    #[test]
+    fn host_context_is_valid_json_shape() {
+        let j = host_context_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"cores\": "));
+        assert!(j.contains("\"ntt_threads\": "));
+        assert!(j.contains("\"cpu_model\": "));
+        // No unescaped quote may survive inside the string values: every
+        // '"' in the body must be structural or backslash-escaped.
+        let body = &j[1..j.len() - 1];
+        let mut in_str = false;
+        let mut prev = ' ';
+        let mut structural = 0;
+        for ch in body.chars() {
+            if ch == '"' && prev != '\\' {
+                in_str = !in_str;
+                structural += 1;
+            }
+            prev = ch;
+        }
+        assert!(!in_str, "unbalanced quotes in {j}");
+        assert_eq!(structural % 2, 0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use ntt_data::BatchIter;
 use ntt_nn::{clip_param_grads, Adam, LrSchedule, Module};
 use ntt_tensor::{kernels, splitmix64, Param, ParamGrads, Tape};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which parameters fine-tuning updates.
@@ -270,6 +270,31 @@ fn fanout<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -> V
         .collect()
 }
 
+/// Free list of reusable [`Tape`]s: a worker pops one, resets it for
+/// its shard (which retires the previous step's buffers into the tape's
+/// scratch arena), runs forward/backward, and returns it. Across
+/// optimizer steps the same arenas are recycled, so the hot loop stops
+/// paying allocator churn for forward intermediates and backward
+/// buffers. Purely a memory optimization: the reset seed fully
+/// determines the RNG stream, so results are bit-identical to fresh
+/// tapes.
+struct TapePool(Mutex<Vec<Tape>>);
+
+impl TapePool {
+    fn new() -> Self {
+        TapePool(Mutex::new(Vec::new()))
+    }
+
+    /// Run `f` on a pooled tape reset to `seed`.
+    fn with<R>(&self, seed: u64, f: impl FnOnce(&Tape) -> R) -> R {
+        let mut tape = self.0.lock().unwrap().pop().unwrap_or_default();
+        tape.reset(seed);
+        let r = f(&tape);
+        self.0.lock().unwrap().push(tape);
+        r
+    }
+}
+
 /// One optimizer step: fan the batch out as microbatches, reduce the
 /// per-shard gradient bundles in shard-index order, and return the
 /// recombined batch loss plus the reduced bundle.
@@ -279,18 +304,20 @@ fn fanout_step(
     batch: &[usize],
     step_seed: u64,
     par: &ParStrategy,
+    tapes: &TapePool,
 ) -> (f64, ParamGrads) {
     let shards: Vec<&[usize]> = batch.chunks(par.microbatch).collect();
     let n_total = batch.len();
     let run_shard = |si: usize| -> (f64, ParamGrads) {
         let idx = shards[si];
-        let tape = Tape::with_seed(mix(step_seed, 1 + si as u64));
-        let mse = task.batch_loss(&tape, ntt, idx);
-        debug_assert_eq!(mse.shape(), vec![1], "batch_loss must be scalar");
-        // Weight so that Σ shard losses == the whole-batch mean loss.
-        let loss = mse.scale(idx.len() as f32 / n_total as f32);
-        let value = loss.value().item() as f64;
-        (value, tape.backward_params(loss))
+        tapes.with(mix(step_seed, 1 + si as u64), |tape| {
+            let mse = task.batch_loss(tape, ntt, idx);
+            debug_assert_eq!(mse.shape(), vec![1], "batch_loss must be scalar");
+            // Weight so that Σ shard losses == the whole-batch mean loss.
+            let loss = mse.scale(idx.len() as f32 / n_total as f32);
+            let value = loss.value().item() as f64;
+            (value, tape.backward_params(loss))
+        })
     };
     let results = fanout(shards.len(), par.resolve(shards.len()), run_shard);
 
@@ -326,6 +353,9 @@ pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> 
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut grad_norms = Vec::with_capacity(cfg.epochs);
     let mut steps = 0usize;
+    // One pool of tapes for the whole run: scratch arenas survive from
+    // step to step, so steady-state steps allocate (almost) nothing.
+    let tapes = TapePool::new();
     for epoch in 0..cfg.epochs {
         let mut sum = 0.0f64;
         let mut norm_sum = 0.0f64;
@@ -339,7 +369,7 @@ pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> 
         .take(steps_per_epoch)
         {
             let step_seed = mix(cfg.seed, steps as u64);
-            let (loss, mut grads) = fanout_step(ntt, task, &batch, step_seed, &cfg.par);
+            let (loss, mut grads) = fanout_step(ntt, task, &batch, step_seed, &cfg.par, &tapes);
             let pre_norm = clip_param_grads(&mut grads, cfg.clip);
             opt.step_with(&grads);
             sum += loss;
@@ -368,11 +398,16 @@ pub fn evaluate(ntt: &Ntt, task: &dyn Task, batch_size: usize, par: &ParStrategy
     assert!(!task.is_empty(), "evaluating on an empty dataset");
     ntt.set_training(false);
     let batches: Vec<Vec<usize>> = BatchIter::new(task.len(), batch_size, 0, false).collect();
+    let tapes = TapePool::new();
     let run_batch = |bi: usize| -> (f64, usize) {
         let idx = &batches[bi];
-        let tape = Tape::new();
-        let mse = task.batch_loss(&tape, ntt, idx);
-        (mse.value().item() as f64 * idx.len() as f64, idx.len())
+        // Dropout is off, so no stochastic layer draws from the stream
+        // and the reset seed is immaterial; the batch index keeps it
+        // deterministic anyway.
+        tapes.with(bi as u64, |tape| {
+            let mse = task.batch_loss(tape, ntt, idx);
+            (mse.value().item() as f64 * idx.len() as f64, idx.len())
+        })
     };
     let results = fanout(batches.len(), par.resolve(batches.len()), run_batch);
     let (mut se, mut n) = (0.0f64, 0usize);

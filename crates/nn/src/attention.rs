@@ -44,8 +44,15 @@ impl MultiHeadAttention {
         self.n_heads
     }
 
-    /// Self-attention over `x: [B, T, D] -> [B, T, D]`.
-    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+    /// The single forward path shared by [`Self::forward`] and
+    /// [`Self::forward_with_weights`]: transpose-free scaled dot-product
+    /// attention. Q/K/V stay in the head-interleaved `[B, T, H, dh]`
+    /// layout their projections naturally reshape into; `attn_scores`
+    /// and `attn_context` multiply those views directly, the score
+    /// nonlinearity is the fused `scaled_softmax_last`, and the head
+    /// merge is a plain reshape — no `Kᵀ` or axis-swap copy is ever
+    /// materialized, in forward or backward.
+    fn attend<'t>(&self, tape: &'t Tape, x: Var<'t>) -> (Var<'t>, Var<'t>) {
         let shape = x.shape();
         assert_eq!(shape.len(), 3, "attention expects [B, T, D]");
         let (b, t, d) = (shape[0], shape[1], shape[2]);
@@ -53,22 +60,26 @@ impl MultiHeadAttention {
         let h = self.n_heads;
         let dh = d / h;
 
-        // Project, then regroup [B, T, D] -> [B, H, T, dh].
-        let split = |v: Var<'t>| v.reshape(&[b, t, h, dh]).transpose_axes_1_2();
+        // Project; [B, T, D] reshapes to [B, T, H, dh] for free.
+        let split = |v: Var<'t>| v.reshape(&[b, t, h, dh]);
         let q = split(self.wq.forward(tape, x));
         let k = split(self.wk.forward(tape, x));
         let v = split(self.wv.forward(tape, x));
 
-        // Scaled dot-product: softmax(Q·Kᵀ / sqrt(dh)) · V.
-        let scores = q
-            .matmul(k.transpose_last2())
-            .scale(1.0 / (dh as f32).sqrt());
-        let attn = scores.softmax_last();
-        let ctx = attn.matmul(v); // [B, H, T, dh]
+        // softmax(Q·Kᵀ / sqrt(dh)) · V, straight from the strided views.
+        let attn = q
+            .attn_scores(k)
+            .scaled_softmax_last(1.0 / (dh as f32).sqrt());
+        let ctx = attn.attn_context(v); // [B, T, H, dh]
 
         // Merge heads and apply the output projection.
-        let merged = ctx.transpose_axes_1_2().reshape(&[b, t, d]);
-        self.wo.forward(tape, merged)
+        let merged = ctx.reshape(&[b, t, d]);
+        (self.wo.forward(tape, merged), attn)
+    }
+
+    /// Self-attention over `x: [B, T, D] -> [B, T, D]`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        self.attend(tape, x).0
     }
 
     /// Forward pass that also returns the attention weights `[B, H, T, T]`
@@ -78,21 +89,8 @@ impl MultiHeadAttention {
         tape: &'t Tape,
         x: Var<'t>,
     ) -> (Var<'t>, ntt_tensor::Tensor) {
-        let shape = x.shape();
-        let (b, t, d) = (shape[0], shape[1], shape[2]);
-        let h = self.n_heads;
-        let dh = d / h;
-        let split = |v: Var<'t>| v.reshape(&[b, t, h, dh]).transpose_axes_1_2();
-        let q = split(self.wq.forward(tape, x));
-        let k = split(self.wk.forward(tape, x));
-        let v = split(self.wv.forward(tape, x));
-        let scores = q
-            .matmul(k.transpose_last2())
-            .scale(1.0 / (dh as f32).sqrt());
-        let attn = scores.softmax_last();
-        let ctx = attn.matmul(v);
-        let merged = ctx.transpose_axes_1_2().reshape(&[b, t, d]);
-        (self.wo.forward(tape, merged), attn.value())
+        let (out, attn) = self.attend(tape, x);
+        (out, attn.value())
     }
 }
 
@@ -185,5 +183,46 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn rejects_indivisible_heads() {
         MultiHeadAttention::new("a", 10, 3, 0);
+    }
+
+    #[test]
+    fn grad_check_end_to_end_transpose_free_path() {
+        // Finite-difference validation of the full fused pipeline:
+        // projections -> attn_scores -> scaled_softmax -> attn_context
+        // -> merge -> output projection, for every projection matrix.
+        use ntt_tensor::grad_check::check_param_grad;
+        let mha = MultiHeadAttention::new("a", 6, 2, 7);
+        let x = Tensor::randn(&[2, 3, 6], 8).map(|v| v * 0.5);
+        let target = Tensor::randn(&[2, 3, 6], 9);
+        for p in [
+            &mha.wq.weight,
+            &mha.wk.weight,
+            &mha.wv.weight,
+            &mha.wo.weight,
+            &mha.wq.bias,
+        ] {
+            p.zero_grad();
+            let report = check_param_grad(p, 1e-2, |tape| {
+                mha.forward(tape, tape.input(x.clone())).mse_loss(&target)
+            });
+            assert!(
+                report.passes(2e-2),
+                "gradient check failed for {}: {report:?}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn forward_with_weights_shares_the_forward_path() {
+        // The two entry points are one implementation: outputs must be
+        // bit-identical, not merely close.
+        let mha = MultiHeadAttention::new("a", 16, 4, 11);
+        let tape = Tape::new();
+        let x = Tensor::randn(&[2, 5, 16], 12);
+        let y = mha.forward(&tape, tape.input(x.clone())).value();
+        let (y2, w) = mha.forward_with_weights(&tape, tape.input(x));
+        assert_eq!(y, y2.value());
+        assert_eq!(w.shape(), &[2, 4, 5, 5]);
     }
 }

@@ -41,7 +41,9 @@ impl Linear {
         self.out_features
     }
 
-    /// Apply the layer on the tape.
+    /// Apply the layer on the tape. The weight broadcasts over every
+    /// leading axis of `x` directly (one fused flat GEMM inside
+    /// `matmul`), so no reshape copies are materialized on either side.
     pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
         let shape = x.shape();
         let d = *shape.last().expect("linear input must have rank >= 1");
@@ -50,14 +52,9 @@ impl Linear {
             "linear: input has {d} features, layer expects {}",
             self.in_features
         );
-        let rows: usize = shape[..shape.len() - 1].iter().product();
         let w = tape.param(&self.weight);
         let b = tape.param(&self.bias);
-        let flat = x.reshape(&[rows, d]);
-        let y = flat.matmul(w).add(b);
-        let mut out_shape = shape[..shape.len() - 1].to_vec();
-        out_shape.push(self.out_features);
-        y.reshape(&out_shape)
+        x.matmul(w).add(b)
     }
 }
 

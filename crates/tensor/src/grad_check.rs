@@ -152,6 +152,41 @@ mod tests {
     }
 
     #[test]
+    fn scaled_softmax_grads() {
+        // The fused scale+softmax kernel, at the attention scale (1/√dh)
+        // and at a scale > 1 to catch a dropped factor.
+        for scale in [0.25f32, 1.7] {
+            let w = Param::new("w", Tensor::randn(&[3, 5], 31));
+            let t = Tensor::randn(&[3, 5], 32);
+            check(&w, |tape| {
+                tape.param(&w).scaled_softmax_last(scale).mse_loss(&t)
+            });
+        }
+    }
+
+    #[test]
+    fn attn_scores_and_context_grads() {
+        // The transpose-free attention products, checked through the
+        // full fused chain for all three operands.
+        let (b, t_len, h, dh) = (2usize, 3, 2, 2);
+        let q = Param::new("q", Tensor::randn(&[b, t_len, h, dh], 41).map(|v| v * 0.5));
+        let k = Param::new("k", Tensor::randn(&[b, t_len, h, dh], 42).map(|v| v * 0.5));
+        let v = Param::new("v", Tensor::randn(&[b, t_len, h, dh], 43).map(|v| v * 0.5));
+        let target = Tensor::randn(&[b, t_len, h, dh], 44);
+        let f = loss_fn(|tape: &Tape| {
+            tape.param(&q)
+                .attn_scores(tape.param(&k))
+                .scaled_softmax_last(1.0 / (dh as f32).sqrt())
+                .attn_context(tape.param(&v))
+                .mse_loss(&target)
+        });
+        for p in [&q, &k, &v] {
+            p.zero_grad();
+            check(p, f);
+        }
+    }
+
+    #[test]
     fn activations_grads() {
         for (name, which) in [("relu", 0), ("gelu", 1), ("tanh", 2)] {
             let w = Param::new(name, Tensor::randn(&[2, 6], 9).map(|x| x * 1.5 + 0.1));

@@ -1,29 +1,89 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication and attention kernels.
 //!
-//! Three layouts cover forward and backward passes without materializing
-//! transposes:
+//! One register-blocked, cache-tiled GEMM engine ([`gemm_core`]) serves
+//! every layout the tape needs:
 //!
 //! * `gemm_nn`: `C += A[m,k] · B[k,n]`
 //! * `gemm_nt`: `C += A[m,k] · B[n,k]ᵀ`   (gradient w.r.t. the left operand)
 //! * `gemm_tn`: `C += A[k,m]ᵀ · B[k,n]`   (gradient w.r.t. the right operand)
 //!
-//! All kernels use an `i-k-j` loop order so the innermost loop walks both
-//! `B` and `C` contiguously — this autovectorizes well and is an order of
-//! magnitude faster than the naive `i-j-k` order. Work above
-//! [`PAR_THRESHOLD`] FLOPs is split over row blocks on scoped std
-//! threads (the guides are explicit that CPU-bound work belongs on
-//! threads, not an async runtime).
+//! plus `_strided` variants taking explicit leading dimensions, which let
+//! the attention kernels ([`attn_scores`], [`attn_context`],
+//! [`attn_context_t`]) multiply head-interleaved `[B, T, H, dh]` views
+//! directly — no `Kᵀ` or head-transpose copies are ever materialized.
+//!
+//! # Kernel design
+//!
+//! The engine is a scaled-down BLIS: the innermost unit is an
+//! [`MR`]`×`[`NR`] *microkernel* whose accumulator tile lives in
+//! registers across the whole depth loop, fed by *packed* operand
+//! panels:
+//!
+//! * B is packed once per `k`-block into `[KC × NR]` column panels
+//!   (shared read-only by all row threads), so the microkernel streams
+//!   it contiguously regardless of the source layout or stride;
+//! * A is packed per `[MC]`-row block into `[KC × MR]` micro-panels,
+//!   turning both `nn` (rows) and `tn` (columns) sources into the same
+//!   contiguous broadcast-friendly layout;
+//! * the depth dimension is blocked by [`KC`] so packed panels stay
+//!   cache-resident; within a row block, the column-panel loop runs
+//!   outermost so each B panel is L1-hot across all micro-rows.
+//!
+//! Packing converts `nt`'s dot-product inner loop (a reduction rustc
+//! cannot vectorize under strict f32 semantics) into the same
+//! independent-lane FMA form as `nn`, and there is deliberately no
+//! zero-skip branch anywhere: dense activations autovectorize, and a
+//! data-dependent branch in the inner loop would defeat that.
+//!
+//! # Determinism
+//!
+//! Every output element accumulates its `k` products in ascending `p`
+//! order, grouped only by the fixed [`KC`] blocking — an order that does
+//! not depend on the row split, the thread count, or partial-tile
+//! boundaries. Work above [`PAR_THRESHOLD`] FLOPs is divided over row
+//! blocks on scoped std threads exactly as before, and results stay
+//! bit-identical at any thread count.
+
+use std::cell::{Cell, RefCell};
+use std::ops::Range;
 
 /// Minimum multiply-accumulate count before spawning threads; below this
 /// the spawn overhead dominates.
 pub const PAR_THRESHOLD: usize = 1 << 18;
+
+/// Microkernel rows: accumulator tile height (distinct A values held as
+/// broadcasts per depth step).
+pub const MR: usize = 4;
+/// Microkernel columns: accumulator tile width. `MR × NR = 64` f32
+/// accumulators are 8 × 256-bit registers on AVX2 (the dispatched fast
+/// path — see [`micro_fn`]), leaving room for the A broadcast and B
+/// loads; the baseline-SSE2 fallback spills some but stays correct.
+pub const NR: usize = 16;
+/// Depth blocking: packed panels cover at most `KC` of `k` per pass, so
+/// a B column panel (`KC × NR` = 8 KiB) stays L1-resident.
+pub const KC: usize = 256;
+/// Row blocking: A is packed `MC` rows at a time (`MC × KC` = 64 KiB,
+/// L2-resident and streamed once per column panel).
+pub const MC: usize = 64;
 
 std::thread_local! {
     /// When set, kernels on this thread never spawn row-block threads.
     /// The data-parallel trainer sets it on its workers: parallelism
     /// then comes from microbatch shards, and nesting gemm threads
     /// underneath would oversubscribe the cores.
-    static SEQUENTIAL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+    /// Reusable packing buffers (per thread, so row-block workers and
+    /// trainer shards never contend): B panels for the current k-block,
+    /// A micro-panels for the current row block.
+    static BPACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static APACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+#[cfg(test)]
+std::thread_local! {
+    /// Test hook: force a row-split thread count so the chunked path is
+    /// exercised (and proven bit-identical) even on single-core hosts.
+    static FORCE_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Run `f` with this thread's kernels forced sequential (restored on
@@ -42,6 +102,13 @@ pub fn with_sequential<R>(f: impl FnOnce() -> R) -> R {
 }
 
 fn par_rows(m: usize, work_per_row: usize) -> usize {
+    #[cfg(test)]
+    {
+        let forced = FORCE_THREADS.with(|f| f.get());
+        if forced > 0 {
+            return forced.min(m).max(1);
+        }
+    }
     let total = m * work_per_row;
     if total < PAR_THRESHOLD || SEQUENTIAL.with(|s| s.get()) {
         return 1;
@@ -50,11 +117,14 @@ fn par_rows(m: usize, work_per_row: usize) -> usize {
     cores.min(m).max(1)
 }
 
-/// Run `body(row_range, c_chunk)` over `m` rows, in parallel when profitable.
-fn for_row_blocks<F>(m: usize, n: usize, work_per_row: usize, c: &mut [f32], body: F)
+/// Run `body(row_range, c_chunk)` over `m` rows of a C whose rows are
+/// `ldc` apart (`n` live columns each), in parallel when profitable.
+/// `c_chunk[0]` is the first element of row `row_range.start`.
+fn for_row_blocks<F>(m: usize, n: usize, ldc: usize, work_per_row: usize, c: &mut [f32], body: F)
 where
-    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
 {
+    debug_assert!(n <= ldc || m <= 1, "row chunks would overlap");
     let threads = par_rows(m, work_per_row);
     if threads <= 1 {
         body(0..m, c);
@@ -63,15 +133,283 @@ where
     let rows_per = m.div_ceil(threads);
     std::thread::scope(|s| {
         let mut rest = c;
+        let mut consumed = 0usize;
         let mut start = 0usize;
         while start < m {
             let rows = rows_per.min(m - start);
-            let (chunk, tail) = rest.split_at_mut(rows * n);
+            // Rows start..start+rows occupy [start*ldc, (start+rows-1)*ldc + n):
+            // chunks are disjoint ascending because n <= ldc.
+            let end = (start + rows - 1) * ldc + n;
+            let (head, tail) = rest.split_at_mut(end - consumed);
+            let chunk = &mut head[start * ldc - consumed..];
             rest = tail;
+            consumed = end;
             let range = start..start + rows;
             let body = &body;
             s.spawn(move || body(range, chunk));
             start += rows;
+        }
+    });
+}
+
+/// The register-resident core: `acc[r][j] += apanel[p][r] * bpanel[p][j]`
+/// over `kc` depth steps. Panels are contiguous (packed), so every load
+/// is sequential and the accumulator tile never leaves registers.
+#[inline(always)]
+fn micro_impl(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    // Accumulate into a by-value local: with no live pointer to it, the
+    // tile provably stays in registers and is stored exactly once.
+    let mut local = [[0.0f32; NR]; MR];
+    for (av, bv) in apanel
+        .chunks_exact(MR)
+        .zip(bpanel.chunks_exact(NR))
+        .take(kc)
+    {
+        for r in 0..MR {
+            let ar = av[r];
+            for j in 0..NR {
+                local[r][j] += ar * bv[j];
+            }
+        }
+    }
+    *acc = local;
+}
+
+/// Microkernel compiled for the build's baseline target features.
+///
+/// # Safety
+/// Always safe to call; `unsafe fn` only to share a signature with the
+/// feature-gated variants behind one dispatched pointer.
+unsafe fn micro_baseline(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    micro_impl(kc, apanel, bpanel, acc);
+}
+
+/// The same microkernel recompiled with AVX2 enabled, so LLVM
+/// autovectorizes the [`NR`]-wide lanes as 256-bit `vmulps`/`vaddps`.
+/// Rust never contracts `a * b + c` into an FMA, so this executes the
+/// exact same IEEE operation sequence as [`micro_baseline`] — the
+/// dispatch can change throughput, never a bit of output.
+///
+/// # Safety
+/// Caller must have verified AVX2 support (see [`micro_fn`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_avx2(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    micro_impl(kc, apanel, bpanel, acc);
+}
+
+type MicroFn = unsafe fn(usize, &[f32], &[f32], &mut [[f32; NR]; MR]);
+
+/// Pick the widest microkernel this CPU supports, once per process.
+fn micro_fn() -> MicroFn {
+    static MICRO: std::sync::OnceLock<MicroFn> = std::sync::OnceLock::new();
+    *MICRO.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") {
+            return micro_avx2 as MicroFn;
+        }
+        micro_baseline as MicroFn
+    })
+}
+
+/// Pack B depth-rows `pc..pc+kc` into `[kc × NR]` column panels
+/// (tail panel zero-padded; `out` must be pre-zeroed and hold at least
+/// `n.div_ceil(NR) * kc * NR`). `(p, j)` of the logical `B[k, n]` lives
+/// at `b[p * brs + j * bcs]`, which covers both `nn`/`tn` (`bcs == 1`)
+/// and `nt` (`brs == 1`, `bcs == ldb`) sources.
+fn pack_b(b: &[f32], brs: usize, bcs: usize, pc: usize, kc: usize, n: usize, out: &mut [f32]) {
+    let n_panels = n.div_ceil(NR);
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let jw = NR.min(n - j0);
+        let panel = &mut out[jp * kc * NR..(jp + 1) * kc * NR];
+        if bcs == 1 {
+            for p in 0..kc {
+                let src = (pc + p) * brs + j0;
+                panel[p * NR..p * NR + jw].copy_from_slice(&b[src..src + jw]);
+            }
+        } else if brs == 1 {
+            // Transposed source (`nt`): each logical column is a
+            // contiguous source row — read it sequentially, scatter into
+            // the (cache-resident) panel.
+            for jj in 0..jw {
+                let src = &b[(j0 + jj) * bcs + pc..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    panel[p * NR + jj] = v;
+                }
+            }
+        } else {
+            for p in 0..kc {
+                let src = (pc + p) * brs + j0 * bcs;
+                for jj in 0..jw {
+                    panel[p * NR + jj] = b[src + jj * bcs];
+                }
+            }
+        }
+    }
+}
+
+/// Pack A rows `ic..ic+mc`, depth `pc..pc+kc`, into `[kc × MR]`
+/// micro-panels at `out` (micro-panel-major; pad rows pre-zeroed by the
+/// caller). `(i, p)` of the logical `A[m, k]` lives at
+/// `a[i * ars + p * acs]`. Both layouts are packed in a single pass in
+/// *source* memory order — the `tn` case in particular reads each depth
+/// row of A exactly once instead of restriding per micro-panel.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_block(
+    a: &[f32],
+    ars: usize,
+    acs: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    out: &mut [f32],
+) {
+    if acs == 1 {
+        // Row-major A (nn/nt): each source row is contiguous in p.
+        for r in 0..mc {
+            let src = &a[(ic + r) * ars + pc..][..kc];
+            let panel = &mut out[(r / MR) * kc * MR..][..kc * MR];
+            let lane = r % MR;
+            for (p, &v) in src.iter().enumerate() {
+                panel[p * MR + lane] = v;
+            }
+        }
+    } else {
+        // Column-source A (tn, ars == 1): each depth step is a
+        // contiguous run of mc source elements. Fixed-size micro-copies
+        // compile to plain vector moves (a dynamic length here becomes
+        // a memcpy call per 16-byte chunk).
+        let full = mc - mc % MR;
+        for p in 0..kc {
+            let src = &a[(pc + p) * acs + ic..][..mc];
+            for (ip, chunk) in src[..full].chunks_exact(MR).enumerate() {
+                let chunk: &[f32; MR] = chunk.try_into().unwrap();
+                out[ip * kc * MR + p * MR..][..MR].copy_from_slice(chunk);
+            }
+            for (r, &v) in src[full..].iter().enumerate() {
+                out[(full / MR) * kc * MR + p * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Strided GEMM core: `C[i*ldc + j] += Σ_p A(i,p) · B(p,j)` where the
+/// operand layouts are described by stride pairs (see [`pack_b`] /
+/// [`pack_a_block`]). All public gemm entry points funnel here.
+///
+/// Every KC depth block of B is packed up front, then one thread scope
+/// covers the entire product: each row worker walks the depth blocks
+/// itself, so a multi-block `k` pays a single spawn/join instead of one
+/// barrier (with a serialized re-pack) per block. The per-element
+/// accumulation order — ascending `pc`, then ascending `p` within the
+/// block — is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn gemm_core(
+    a: &[f32],
+    ars: usize,
+    acs: usize,
+    b: &[f32],
+    brs: usize,
+    bcs: usize,
+    c: &mut [f32],
+    ldc: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    debug_assert!(a.len() > (m - 1) * ars + (k - 1) * acs, "A too short");
+    debug_assert!(b.len() > (k - 1) * brs + (n - 1) * bcs, "B too short");
+    debug_assert!(c.len() >= (m - 1) * ldc + n, "C too short");
+    let n_panels = n.div_ceil(NR);
+    let n_blocks = k.div_ceil(KC);
+    // Fixed per-block stride (sized for a full KC block); the tail
+    // block simply leaves its region partially used. Panels *within* a
+    // block are `kc * NR` apart, matching `gemm_row_block`'s indexing.
+    let block_stride = n_panels * KC * NR;
+    BPACK.with(|bp| {
+        let mut bp = bp.borrow_mut();
+        bp.clear();
+        bp.resize(n_blocks * block_stride, 0.0);
+        for (bi, pc) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - pc);
+            pack_b(b, brs, bcs, pc, kc, n, &mut bp[bi * block_stride..]);
+        }
+        let bp = &*bp;
+        for_row_blocks(m, n, ldc, k * n, c, |rows, chunk| {
+            for (bi, pc) in (0..k).step_by(KC).enumerate() {
+                let kc = KC.min(k - pc);
+                gemm_row_block(
+                    a,
+                    ars,
+                    acs,
+                    &bp[bi * block_stride..],
+                    chunk,
+                    ldc,
+                    rows.clone(),
+                    pc,
+                    kc,
+                    n,
+                    n_panels,
+                );
+            }
+        });
+    });
+}
+
+/// One thread's share of [`gemm_core`]: rows `rows` of C (chunk-relative,
+/// stride `ldc`) against the packed B panels for depth block `pc..pc+kc`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_block(
+    a: &[f32],
+    ars: usize,
+    acs: usize,
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    rows: Range<usize>,
+    pc: usize,
+    kc: usize,
+    n: usize,
+    n_panels: usize,
+) {
+    APACK.with(|ap| {
+        let mut ap = ap.borrow_mut();
+        let row0 = rows.start;
+        let mut ic = rows.start;
+        while ic < rows.end {
+            let mc = MC.min(rows.end - ic);
+            let mp = mc.div_ceil(MR);
+            ap.clear();
+            ap.resize(mp * kc * MR, 0.0);
+            pack_a_block(a, ars, acs, ic, mc, pc, kc, &mut ap);
+            // Column panels outermost: each B panel stays L1-hot across
+            // every micro-row of this MC block.
+            let micro = micro_fn();
+            for jp in 0..n_panels {
+                let j0 = jp * NR;
+                let jw = NR.min(n - j0);
+                let bpanel = &bpack[jp * kc * NR..(jp + 1) * kc * NR];
+                for ip in 0..mp {
+                    let i0 = ic + ip * MR;
+                    let iw = MR.min(rows.end - i0);
+                    let apanel = &ap[ip * kc * MR..(ip + 1) * kc * MR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    // SAFETY: micro_fn verified the required CPU features.
+                    unsafe { micro(kc, apanel, bpanel, &mut acc) };
+                    for r in 0..iw {
+                        let crow = &mut c[(i0 + r - row0) * ldc + j0..][..jw];
+                        for (cv, av) in crow.iter_mut().zip(acc[r].iter()) {
+                            *cv += av;
+                        }
+                    }
+                }
+            }
+            ic += mc;
         }
     });
 }
@@ -81,44 +419,52 @@ pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for_row_blocks(m, n, k * n, c, |rows, chunk| {
-        for (ci, i) in rows.enumerate() {
-            let crow = &mut chunk[ci * n..(ci + 1) * n];
-            for p in 0..k {
-                let aval = a[i * k + p];
-                if aval == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += aval * bv;
-                }
-            }
-        }
-    });
+    gemm_core(a, k, 1, b, n, 1, c, n, m, k, n);
 }
 
-/// `C[m,n] += A[m,k] · B[n,k]ᵀ` — i.e. rows of `B` are dotted against rows
-/// of `A`. Inner loop is a dot product over contiguous memory in both
-/// operands.
+/// [`gemm_nn`] over strided views: `A` rows are `lda` apart, `B` rows
+/// `ldb` apart, `C` rows `ldc` apart.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn_strided(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_core(a, lda, 1, b, ldb, 1, c, ldc, m, k, n);
+}
+
+/// `C[m,n] += A[m,k] · B[n,k]ᵀ` — rows of `B` are dotted against rows
+/// of `A`. Packing transposes `B` into column panels, so the inner loop
+/// is the same independent-lane FMA form as `nn` (a plain dot-product
+/// loop is a reduction rustc will not vectorize under strict f32).
 pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    for_row_blocks(m, n, k * n, c, |rows, chunk| {
-        for (ci, i) in rows.enumerate() {
-            let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut chunk[ci * n..(ci + 1) * n];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
-                }
-                *cv += acc;
-            }
-        }
-    });
+    gemm_core(a, k, 1, b, 1, k, c, n, m, k, n);
+}
+
+/// [`gemm_nt`] over strided views (`B` stored `[n, k]` with rows `ldb`
+/// apart).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_strided(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_core(a, lda, 1, b, 1, ldb, c, ldc, m, k, n);
 }
 
 /// `C[m,n] += A[k,m]ᵀ · B[k,n]`.
@@ -126,25 +472,243 @@ pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    // Parallel split over output rows is awkward here (A is walked
-    // column-wise), so split over row blocks but iterate p outermost
-    // inside each block for contiguous access to B and C.
-    for_row_blocks(m, n, k * n, c, |rows, chunk| {
-        let row0 = rows.start;
-        for p in 0..k {
-            let brow = &b[p * n..(p + 1) * n];
-            for i in rows.clone() {
-                let aval = a[p * m + i];
-                if aval == 0.0 {
-                    continue;
+    gemm_core(a, 1, m, b, n, 1, c, n, m, k, n);
+}
+
+/// [`gemm_tn`] over strided views (`A` stored `[k, m]` with rows `lda`
+/// apart).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn_strided(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_core(a, 1, lda, b, ldb, 1, c, ldc, m, k, n);
+}
+
+// ---------------------------------------------------------------------------
+// Attention products over head-interleaved [B, T, H, dh] layouts.
+//
+// Q/K/V stay exactly as the per-head reshape of the projection output —
+// `[B, T, H, dh]` row-major — and every product below reads them through
+// a row stride of `h * dh`. Nothing is transposed or copied.
+// ---------------------------------------------------------------------------
+
+/// `scores[b,h,i,j] += Σ_d q[b,i,h,d] · k[b,j,h,d]` — the `Q·Kᵀ` of
+/// every head, from `[B, T, H, dh]` views into `[B, H, T, T]`.
+pub fn attn_scores(
+    q: &[f32],
+    k: &[f32],
+    scores: &mut [f32],
+    b: usize,
+    t: usize,
+    h: usize,
+    dh: usize,
+) {
+    debug_assert_eq!(q.len(), b * t * h * dh);
+    debug_assert_eq!(k.len(), b * t * h * dh);
+    debug_assert_eq!(scores.len(), b * h * t * t);
+    if b * t * h * dh == 0 {
+        return;
+    }
+    let hd = h * dh;
+    for bi in 0..b {
+        for hi in 0..h {
+            let qo = bi * t * hd + hi * dh;
+            let so = (bi * h + hi) * t * t;
+            gemm_nt_strided(
+                &q[qo..],
+                hd,
+                &k[qo..],
+                hd,
+                &mut scores[so..so + t * t],
+                t,
+                t,
+                dh,
+                t,
+            );
+        }
+    }
+}
+
+/// `ctx[b,i,h,d] += Σ_j w[b,h,i,j] · v[b,j,h,d]` — attention-weighted
+/// values, written straight back into `[B, T, H, dh]` layout (so the
+/// head merge is a plain reshape). Also the gradient `dQ = G · K` of
+/// [`attn_scores`] when called as `attn_context(g, k, dq, ..)`.
+pub fn attn_context(
+    w: &[f32],
+    v: &[f32],
+    ctx: &mut [f32],
+    b: usize,
+    t: usize,
+    h: usize,
+    dh: usize,
+) {
+    debug_assert_eq!(w.len(), b * h * t * t);
+    debug_assert_eq!(v.len(), b * t * h * dh);
+    debug_assert_eq!(ctx.len(), b * t * h * dh);
+    if b * t * h * dh == 0 {
+        return;
+    }
+    let hd = h * dh;
+    for bi in 0..b {
+        for hi in 0..h {
+            let wo = (bi * h + hi) * t * t;
+            let vo = bi * t * hd + hi * dh;
+            gemm_nn_strided(
+                &w[wo..wo + t * t],
+                t,
+                &v[vo..],
+                hd,
+                &mut ctx[vo..],
+                hd,
+                t,
+                t,
+                dh,
+            );
+        }
+    }
+}
+
+/// `out[b,j,h,d] += Σ_i w[b,h,i,j] · x[b,i,h,d]` — the transposed
+/// counterpart of [`attn_context`], covering the remaining attention
+/// gradients: `dK = Gᵀ · Q` and `dV = Wᵀ · G_ctx`.
+pub fn attn_context_t(
+    w: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+    b: usize,
+    t: usize,
+    h: usize,
+    dh: usize,
+) {
+    debug_assert_eq!(w.len(), b * h * t * t);
+    debug_assert_eq!(x.len(), b * t * h * dh);
+    debug_assert_eq!(out.len(), b * t * h * dh);
+    if b * t * h * dh == 0 {
+        return;
+    }
+    let hd = h * dh;
+    for bi in 0..b {
+        for hi in 0..h {
+            let wo = (bi * h + hi) * t * t;
+            let xo = bi * t * hd + hi * dh;
+            gemm_tn_strided(
+                &w[wo..wo + t * t],
+                t,
+                &x[xo..],
+                hd,
+                &mut out[xo..],
+                hd,
+                t,
+                t,
+                dh,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused softmax.
+// ---------------------------------------------------------------------------
+
+/// Fused `out = softmax(scale * x)` over rows of width `d`, numerically
+/// stabilized. One kernel replaces the previous `scale` op (a full
+/// tensor materialization and tape node) plus the separate softmax.
+pub fn scaled_softmax_fwd(x: &[f32], scale: f32, d: usize, out: &mut [f32]) {
+    assert!(d > 0, "softmax over empty axis");
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(x.len() % d, 0);
+    for (row, orow) in x.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+        let mut mx = f32::NEG_INFINITY;
+        for &v in row {
+            mx = mx.max(scale * v);
+        }
+        let mut sum = 0.0f32;
+        for (o, &v) in orow.iter_mut().zip(row.iter()) {
+            let e = (scale * v - mx).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in orow.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+/// Softmax backward in one pass over the rows: given `y = softmax(scale·x)`
+/// and upstream `g`, writes `gx = scale · y ⊙ (g − ⟨y, g⟩)` without any
+/// intermediate tensor. Used by both the fused scaled softmax
+/// (`scale = 1/√dh`) and the plain softmax op (`scale = 1`).
+pub fn softmax_bwd(y: &[f32], g: &[f32], scale: f32, d: usize, gx: &mut [f32]) {
+    debug_assert_eq!(y.len(), g.len());
+    debug_assert_eq!(y.len(), gx.len());
+    debug_assert_eq!(y.len() % d.max(1), 0);
+    for ((ys, gs), gxs) in y
+        .chunks_exact(d)
+        .zip(g.chunks_exact(d))
+        .zip(gx.chunks_exact_mut(d))
+    {
+        let mut dot = 0.0f32;
+        for (&yv, &gv) in ys.iter().zip(gs.iter()) {
+            dot += yv * gv;
+        }
+        for ((o, &yv), &gv) in gxs.iter_mut().zip(ys.iter()).zip(gs.iter()) {
+            *o = scale * (yv * (gv - dot));
+        }
+    }
+}
+
+/// Naive triple-loop reference kernels: the ground truth the tiled
+/// engine is proptested against, and the baseline the `kernels` bench
+/// measures its GFLOP/s floor from. Deliberately unblocked and
+/// unpacked — do not "optimize" these.
+pub mod reference {
+    /// `C[m,n] += A[m,k] · B[k,n]`, i-j-k order.
+    pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
                 }
-                let crow = &mut chunk[(i - row0) * n..(i - row0 + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += aval * bv;
-                }
+                c[i * n + j] += acc;
             }
         }
-    });
+    }
+
+    /// `C[m,n] += A[m,k] · B[n,k]ᵀ`.
+    pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[j * k + p];
+                }
+                c[i * n + j] += acc;
+            }
+        }
+    }
+
+    /// `C[m,n] += A[k,m]ᵀ · B[k,n]`.
+    pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[p * m + i] * b[p * n + j];
+                }
+                c[i * n + j] += acc;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,13 +717,7 @@ mod tests {
 
     fn naive_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         let mut c = vec![0.0; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                for p in 0..k {
-                    c[i * n + j] += a[i * k + p] * b[p * n + j];
-                }
-            }
-        }
+        reference::gemm_nn(a, b, &mut c, m, k, n);
         c
     }
 
@@ -174,6 +732,13 @@ mod tests {
         }
     }
 
+    fn with_forced_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        FORCE_THREADS.with(|t| t.set(threads));
+        let r = f();
+        FORCE_THREADS.with(|t| t.set(0));
+        r
+    }
+
     #[test]
     fn nn_matches_naive_small() {
         let (m, k, n) = (3, 4, 5);
@@ -186,13 +751,41 @@ mod tests {
 
     #[test]
     fn nn_matches_naive_large_parallel() {
-        // Large enough to cross PAR_THRESHOLD and exercise the threaded path.
-        let (m, k, n) = (97, 64, 130);
+        // Larger than every tile dimension, odd in every axis, and run
+        // with a forced row split to exercise the threaded path.
+        let (m, k, n) = (97, 300, 130);
         let a = rand_vec(m * k, 3);
         let b = rand_vec(k * n, 4);
         let mut c = vec![0.0; m * n];
-        gemm_nn(&a, &b, &mut c, m, k, n);
+        with_forced_threads(3, || gemm_nn(&a, &b, &mut c, m, k, n));
         assert_close(&c, &naive_nn(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn row_split_is_bit_identical() {
+        // The determinism contract behind `with_sequential`: the thread
+        // count must not change a single bit, in any layout.
+        let (m, k, n) = (53, 67, 41);
+        type Kernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+        let cases: [(&str, Kernel, usize, usize); 3] = [
+            ("nn", gemm_nn, m * k, k * n),
+            ("nt", gemm_nt, m * k, n * k),
+            ("tn", gemm_tn, k * m, k * n),
+        ];
+        for (name, run, alen, blen) in cases {
+            let a = rand_vec(alen, 11);
+            let b = rand_vec(blen, 12);
+            for threads in [2, 3, 7] {
+                let mut c1 = vec![0.0; m * n];
+                run(&a, &b, &mut c1, m, k, n);
+                let mut c2 = vec![0.0; m * n];
+                with_forced_threads(threads, || run(&a, &b, &mut c2, m, k, n));
+                assert_eq!(
+                    c1, c2,
+                    "{name}: thread count changed bits ({threads} threads)"
+                );
+            }
+        }
     }
 
     #[test]
@@ -240,7 +833,7 @@ mod tests {
 
     #[test]
     fn tn_large_parallel_path() {
-        let (m, k, n) = (80, 70, 90);
+        let (m, k, n) = (80, 270, 90);
         let at = rand_vec(k * m, 9);
         let b = rand_vec(k * n, 10);
         let mut a = vec![0.0; m * k];
@@ -250,8 +843,102 @@ mod tests {
             }
         }
         let mut c1 = vec![0.0; m * n];
-        gemm_tn(&at, &b, &mut c1, m, k, n);
+        with_forced_threads(4, || gemm_tn(&at, &b, &mut c1, m, k, n));
         assert_close(&c1, &naive_nn(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn strided_views_match_dense() {
+        // Embed a [5, 6] A and [6, 7] B inside wider buffers and check
+        // the strided entry points against the dense ones.
+        let (m, k, n) = (5usize, 6, 7);
+        let (lda, ldb, ldc) = (k + 3, n + 2, n + 4);
+        let a = rand_vec(m * lda, 21);
+        let b = rand_vec(k * ldb, 22);
+        let dense_a: Vec<f32> = (0..m * k).map(|i| a[(i / k) * lda + i % k]).collect();
+        let dense_b: Vec<f32> = (0..k * n).map(|i| b[(i / n) * ldb + i % n]).collect();
+        let mut c = vec![0.0; (m - 1) * ldc + n];
+        gemm_nn_strided(&a, lda, &b, ldb, &mut c, ldc, m, k, n);
+        let want = naive_nn(&dense_a, &dense_b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                assert!((c[i * ldc + j] - want[i * n + j]).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn attn_kernels_match_transpose_reference() {
+        let (b, t, h, dh) = (2usize, 5, 3, 4);
+        let q = rand_vec(b * t * h * dh, 31);
+        let k = rand_vec(b * t * h * dh, 32);
+        let v = rand_vec(b * t * h * dh, 33);
+        let mut scores = vec![0.0; b * h * t * t];
+        attn_scores(&q, &k, &mut scores, b, t, h, dh);
+        let idx = |bi: usize, ti: usize, hi: usize, d: usize| ((bi * t + ti) * h + hi) * dh + d;
+        for bi in 0..b {
+            for hi in 0..h {
+                for i in 0..t {
+                    for j in 0..t {
+                        let mut want = 0.0f32;
+                        for d in 0..dh {
+                            want += q[idx(bi, i, hi, d)] * k[idx(bi, j, hi, d)];
+                        }
+                        let got = scores[((bi * h + hi) * t + i) * t + j];
+                        assert!((got - want).abs() < 1e-4, "scores {got} vs {want}");
+                    }
+                }
+            }
+        }
+        let mut ctx = vec![0.0; b * t * h * dh];
+        attn_context(&scores, &v, &mut ctx, b, t, h, dh);
+        let mut ctx_t = vec![0.0; b * t * h * dh];
+        attn_context_t(&scores, &v, &mut ctx_t, b, t, h, dh);
+        for bi in 0..b {
+            for hi in 0..h {
+                for i in 0..t {
+                    for d in 0..dh {
+                        let (mut want, mut want_t) = (0.0f32, 0.0f32);
+                        for j in 0..t {
+                            want += scores[((bi * h + hi) * t + i) * t + j] * v[idx(bi, j, hi, d)];
+                            want_t +=
+                                scores[((bi * h + hi) * t + j) * t + i] * v[idx(bi, j, hi, d)];
+                        }
+                        assert!((ctx[idx(bi, i, hi, d)] - want).abs() < 1e-3);
+                        assert!((ctx_t[idx(bi, i, hi, d)] - want_t).abs() < 1e-3);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_softmax_rows_are_distributions() {
+        let x = rand_vec(6 * 9, 41);
+        let mut y = vec![0.0; x.len()];
+        scaled_softmax_fwd(&x, 0.5, 9, &mut y);
+        for row in y.chunks(9) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_bwd_matches_formula() {
+        let y = vec![0.2f32, 0.3, 0.5, 0.6, 0.1, 0.3];
+        let g = vec![1.0f32, -1.0, 0.5, 0.0, 2.0, 1.0];
+        let mut gx = vec![0.0; 6];
+        softmax_bwd(&y, &g, 2.0, 3, &mut gx);
+        for r in 0..2 {
+            let ys = &y[r * 3..r * 3 + 3];
+            let gs = &g[r * 3..r * 3 + 3];
+            let dot: f32 = ys.iter().zip(gs).map(|(a, b)| a * b).sum();
+            for j in 0..3 {
+                let want = 2.0 * ys[j] * (gs[j] - dot);
+                assert!((gx[r * 3 + j] - want).abs() < 1e-6);
+            }
+        }
     }
 
     #[test]
@@ -263,5 +950,7 @@ mod tests {
         let mut c = vec![0.0];
         gemm_nn(&a, &b, &mut c, 1, 1, 1);
         assert_eq!(c, vec![6.0]);
+        attn_scores(&[], &[], &mut [], 0, 0, 2, 0);
+        scaled_softmax_fwd(&[], 1.0, 3, &mut []);
     }
 }

@@ -12,18 +12,36 @@
 //! * [`Tape::backward`] is the single-threaded convenience that collects
 //!   and immediately deposits into the [`Param`] gradient slots.
 //!
-//! One tape lives for one microbatch and is dropped afterwards — there
-//! is no graph reuse, no aliasing, and therefore no cache-invalidation
-//! subtlety. Each tape also carries a deterministic RNG stream
-//! ([`Tape::with_seed`], [`Tape::rng_next`]) that stochastic layers
-//! (dropout) draw from, so a microbatch's forward pass is a pure
+//! # Scratch arena
+//!
+//! Every tensor the tape allocates — forward intermediates, backward
+//! gradient buffers — is drawn from a tape-owned scratch arena (a pool
+//! of retired `Vec<f32>` buffers bucketed by length). [`Tape::reset`]
+//! clears the recorded graph, returns every node's buffer to the arena,
+//! and reseeds the RNG stream: a training loop that resets one tape per
+//! optimizer step (instead of dropping and reallocating it) reuses the
+//! same memory step after step, eliminating allocator churn on the hot
+//! path. `backward_params` additionally retires each intermediate
+//! gradient the moment its node has been processed, so a step's backward
+//! pass mostly recycles its own buffers. The arena only changes *where
+//! buffers come from*, never their contents — results are bit-identical
+//! with or without reuse.
+//!
+//! One tape lives for one microbatch (and is reset, not rebuilt, for the
+//! next) — there is no graph reuse, no aliasing, and therefore no
+//! cache-invalidation subtlety. Each tape also carries a deterministic
+//! RNG stream ([`Tape::with_seed`], [`Tape::rng_next`]) that stochastic
+//! layers (dropout) draw from, so a microbatch's forward pass is a pure
 //! function of its inputs and seed regardless of which thread runs it.
 //!
 //! The op set is exactly what the Network Traffic Transformer needs
 //! (linear algebra, attention plumbing, sequence slicing for the
-//! multi-timescale aggregator, fused layer-norm and MSE). Each op's
-//! backward rule is unit-tested against finite differences in
-//! [`crate::grad_check`].
+//! multi-timescale aggregator, fused layer-norm, softmax and MSE). The
+//! attention ops ([`Var::attn_scores`], [`Var::attn_context`],
+//! [`Var::scaled_softmax_last`]) work directly on head-interleaved
+//! `[B, T, H, dh]` layouts so multi-head attention never materializes a
+//! transpose. Each op's backward rule is unit-tested against finite
+//! differences in [`crate::grad_check`].
 
 use crate::shape::{self, Broadcast};
 use crate::{kernels, Param, Tensor};
@@ -50,6 +68,73 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 /// single-threaded callers (creation order is the only input).
 static NEXT_TAPE_SEED: AtomicU64 = AtomicU64::new(0x7a9e_5eed);
 
+/// Retired buffers kept per length class; bounds arena growth when one
+/// tape sees many distinct shapes.
+const SCRATCH_BUCKET_CAP: usize = 32;
+
+/// Pool of retired `f32` buffers, bucketed by exact length. Training
+/// shapes are stable step over step, so exact-length reuse hits nearly
+/// always; buffers for shapes that stop occurring age out when the tape
+/// is dropped.
+#[derive(Default)]
+struct Scratch {
+    pool: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
+}
+
+impl Scratch {
+    /// A zeroed buffer of length `n` (for accumulation targets).
+    fn take_zeroed(&self, n: usize) -> Vec<f32> {
+        match self.pool.borrow_mut().get_mut(&n).and_then(Vec::pop) {
+            Some(mut v) => {
+                v.fill(0.0);
+                v
+            }
+            None => vec![0.0; n],
+        }
+    }
+
+    /// A buffer of length `n` with arbitrary contents — the caller must
+    /// overwrite every element before the buffer becomes visible.
+    fn take_overwrite(&self, n: usize) -> Vec<f32> {
+        match self.pool.borrow_mut().get_mut(&n).and_then(Vec::pop) {
+            Some(v) => v,
+            None => vec![0.0; n],
+        }
+    }
+
+    /// A buffer holding a copy of `src`.
+    fn take_copy(&self, src: &[f32]) -> Vec<f32> {
+        match self
+            .pool
+            .borrow_mut()
+            .get_mut(&src.len())
+            .and_then(Vec::pop)
+        {
+            Some(mut v) => {
+                v.copy_from_slice(src);
+                v
+            }
+            None => src.to_vec(),
+        }
+    }
+
+    /// Retire a buffer for reuse.
+    fn put(&self, v: Vec<f32>) {
+        if v.is_empty() {
+            return;
+        }
+        let mut pool = self.pool.borrow_mut();
+        let bucket = pool.entry(v.len()).or_default();
+        if bucket.len() < SCRATCH_BUCKET_CAP {
+            bucket.push(v);
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.pool.borrow().values().map(Vec::len).sum()
+    }
+}
+
 /// Operation recorded on the tape. Indices refer to earlier nodes.
 enum Op {
     /// Constant input — receives a gradient but propagates nowhere.
@@ -70,6 +155,21 @@ enum Op {
     Gelu(usize),
     Tanh(usize),
     Softmax(usize),
+    /// Fused `softmax(scale * x)` over the last axis: one kernel, one
+    /// tape node, no materialized scaled scores.
+    ScaledSoftmax(usize, f32),
+    /// `Q·Kᵀ` per head from `[B, T, H, dh]` views (no transposes):
+    /// `[B, T, H, dh] x [B, T, H, dh] -> [B, H, T, T]`.
+    AttnScores {
+        q: usize,
+        k: usize,
+    },
+    /// Attention-weighted values, back in head-interleaved layout:
+    /// `[B, H, T, T] x [B, T, H, dh] -> [B, T, H, dh]`.
+    AttnContext {
+        attn: usize,
+        v: usize,
+    },
     LayerNorm {
         x: usize,
         gamma: usize,
@@ -117,6 +217,8 @@ pub struct Tape {
     nodes: RefCell<Vec<Node>>,
     /// SplitMix64 state for the tape-local RNG stream (dropout masks).
     rng: Cell<u64>,
+    /// Retired-buffer pool backing every tape allocation.
+    scratch: Scratch,
 }
 
 impl Default for Tape {
@@ -250,24 +352,6 @@ fn gelu_bwd(x: f32) -> f32 {
     0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
 }
 
-fn softmax_last(x: &Tensor) -> Tensor {
-    let d = *x.shape().last().expect("softmax requires rank >= 1");
-    assert!(d > 0, "softmax over empty axis");
-    let mut out = x.clone();
-    for row in out.data_mut().chunks_mut(d) {
-        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - mx).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
-    }
-    out
-}
-
 impl Tape {
     /// Fresh, empty tape with a process-unique RNG seed (see
     /// [`NEXT_TAPE_SEED`]). Use [`Tape::with_seed`] when the stream
@@ -283,7 +367,35 @@ impl Tape {
         Tape {
             nodes: RefCell::new(Vec::new()),
             rng: Cell::new(seed),
+            scratch: Scratch::default(),
         }
+    }
+
+    /// Clear the recorded graph, retire every node's buffer into the
+    /// scratch arena, and restart the RNG stream at `seed`. A reset tape
+    /// is indistinguishable from `Tape::with_seed(seed)` except that its
+    /// subsequent allocations reuse the retired memory — the trainer
+    /// resets one tape per optimizer step instead of rebuilding it.
+    /// Takes `&mut self` so any `Var` from before the reset (which would
+    /// silently alias a new node id) is rejected at compile time.
+    pub fn reset(&mut self, seed: u64) {
+        let mut nodes = self.nodes.borrow_mut();
+        for node in nodes.drain(..) {
+            self.scratch.put(node.value.into_data());
+            match node.op {
+                Op::MulConst(_, mask) => self.scratch.put(mask.into_data()),
+                Op::LayerNorm { xhat, .. } => self.scratch.put(xhat.into_data()),
+                Op::MseLoss { target, .. } => self.scratch.put(target.into_data()),
+                _ => {}
+            }
+        }
+        self.rng.set(seed);
+    }
+
+    /// Number of retired buffers currently pooled in the scratch arena
+    /// (diagnostic; useful for asserting reuse in tests).
+    pub fn scratch_buffers(&self) -> usize {
+        self.scratch.buffered()
     }
 
     /// Next value of the tape-local SplitMix64 stream. Deterministic in
@@ -303,6 +415,51 @@ impl Tape {
     /// True when nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    // -- arena-backed allocation helpers -----------------------------------
+
+    fn alloc_zeroed(&self, n: usize) -> Vec<f32> {
+        self.scratch.take_zeroed(n)
+    }
+
+    /// Buffer with arbitrary contents; every element must be written.
+    fn alloc_overwrite(&self, n: usize) -> Vec<f32> {
+        self.scratch.take_overwrite(n)
+    }
+
+    fn recycle(&self, t: Tensor) {
+        self.scratch.put(t.into_data());
+    }
+
+    /// Pooled copy of a tensor (optionally under a new shape).
+    fn t_copy(&self, src: &Tensor, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(self.scratch.take_copy(src.data()), shape)
+    }
+
+    /// Pooled elementwise map.
+    fn t_map(&self, src: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut buf = self.alloc_overwrite(src.numel());
+        for (o, &x) in buf.iter_mut().zip(src.data().iter()) {
+            *o = f(x);
+        }
+        Tensor::from_vec(buf, src.shape())
+    }
+
+    /// Pooled elementwise combine (identical shapes).
+    fn t_zip(&self, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            a.shape(),
+            b.shape(),
+            "zip requires identical shapes ({:?} vs {:?})",
+            a.shape(),
+            b.shape()
+        );
+        let mut buf = self.alloc_overwrite(a.numel());
+        for ((o, &x), &y) in buf.iter_mut().zip(a.data().iter()).zip(b.data().iter()) {
+            *o = f(x, y);
+        }
+        Tensor::from_vec(buf, a.shape())
     }
 
     fn push(&self, op: Op, value: Tensor) -> Var<'_> {
@@ -333,14 +490,20 @@ impl Tape {
     /// into the `Param` accumulator slots (no intermediate bundle — the
     /// zero-allocation single-threaded path).
     pub fn backward(&self, loss: Var<'_>) -> Gradients {
-        self.backward_walk(loss, &mut |p: &Param, g: &Tensor| p.accumulate_grad(g))
+        self.backward_walk(
+            loss,
+            &mut |p: &Param, g: &Tensor| p.accumulate_grad(g),
+            false,
+        )
     }
 
     /// Run reverse-mode differentiation and *collect* per-parameter
     /// gradients into a detached [`ParamGrads`] bundle, leaving every
     /// `Param` untouched. This is the worker-thread half of the
     /// data-parallel trainer: each microbatch produces one bundle, and
-    /// the coordinator reduces them in shard-index order.
+    /// the coordinator reduces them in shard-index order. Intermediate
+    /// gradients are retired into the scratch arena as soon as their
+    /// node is processed, so the walk mostly reuses its own memory.
     pub fn backward_params(&self, loss: Var<'_>) -> ParamGrads {
         let mut collected = ParamGrads {
             entries: Vec::new(),
@@ -348,23 +511,34 @@ impl Tape {
         // Param identity -> entry index, for parameters recorded on the
         // tape more than once (e.g. a layer applied at two places).
         let mut slot_of: HashMap<usize, usize> = HashMap::new();
-        self.backward_walk(loss, &mut |p: &Param, g: &Tensor| {
-            if p.is_trainable() {
-                match slot_of.get(&p.key()) {
-                    Some(&i) => collected.entries[i].1.add_assign(g),
-                    None => {
-                        slot_of.insert(p.key(), collected.entries.len());
-                        collected.entries.push((p.clone(), g.clone()));
+        self.backward_walk(
+            loss,
+            &mut |p: &Param, g: &Tensor| {
+                if p.is_trainable() {
+                    match slot_of.get(&p.key()) {
+                        Some(&i) => collected.entries[i].1.add_assign(g),
+                        None => {
+                            slot_of.insert(p.key(), collected.entries.len());
+                            collected.entries.push((p.clone(), g.clone()));
+                        }
                     }
                 }
-            }
-        });
+            },
+            true,
+        );
         collected
     }
 
     /// The shared reverse walk; `on_param` receives each parameter
-    /// node's gradient (deposit it or collect it).
-    fn backward_walk(&self, loss: Var<'_>, on_param: &mut dyn FnMut(&Param, &Tensor)) -> Gradients {
+    /// node's gradient (deposit it or collect it). With `recycle`, each
+    /// node's gradient buffer is retired to the arena once processed
+    /// (the returned [`Gradients`] is then empty of intermediates).
+    fn backward_walk(
+        &self,
+        loss: Var<'_>,
+        on_param: &mut dyn FnMut(&Param, &Tensor),
+        recycle: bool,
+    ) -> Gradients {
         let nodes = self.nodes.borrow();
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.shape()));
@@ -372,7 +546,11 @@ impl Tape {
         for id in (0..=loss.id).rev() {
             let Some(g) = grads[id].take() else { continue };
             self.step_backward(&nodes, &mut grads, on_param, id, &g);
-            grads[id] = Some(g);
+            if recycle {
+                self.recycle(g);
+            } else {
+                grads[id] = Some(g);
+            }
         }
         Gradients { grads }
     }
@@ -385,21 +563,26 @@ impl Tape {
         id: usize,
         g: &Tensor,
     ) {
+        // Accumulate `inc` into a node's gradient slot; when the slot is
+        // already live the increment's buffer is retired to the arena.
         let add_grad = |grads: &mut [Option<Tensor>], to: usize, inc: Tensor| match &mut grads[to] {
-            Some(acc) => acc.add_assign(&inc),
+            Some(acc) => {
+                acc.add_assign(&inc);
+                self.recycle(inc);
+            }
             slot @ None => *slot = Some(inc),
         };
         match &nodes[id].op {
             Op::Leaf => {}
             Op::ParamLeaf(p) => on_param(p, g),
             Op::Add(a, b, bc) => {
-                add_grad(grads, *a, g.clone());
+                add_grad(grads, *a, self.t_copy(g, g.shape()));
                 let gb = match bc {
-                    Broadcast::Same => g.clone(),
+                    Broadcast::Same => self.t_copy(g, g.shape()),
                     Broadcast::Leading | Broadcast::Inner => {
                         let bshape = nodes[*b].value.shape().to_vec();
                         let bn = shape::numel(&bshape);
-                        let mut acc = vec![0.0f32; bn];
+                        let mut acc = self.alloc_zeroed(bn);
                         for chunk in g.data().chunks(bn) {
                             for (a, &x) in acc.iter_mut().zip(chunk.iter()) {
                                 *a += x;
@@ -411,62 +594,102 @@ impl Tape {
                 add_grad(grads, *b, gb);
             }
             Op::Sub(a, b) => {
-                add_grad(grads, *a, g.clone());
-                add_grad(grads, *b, g.map(|x| -x));
+                add_grad(grads, *a, self.t_copy(g, g.shape()));
+                add_grad(grads, *b, self.t_map(g, |x| -x));
             }
             Op::Mul(a, b) => {
-                let (va, vb) = (nodes[*a].value.clone(), nodes[*b].value.clone());
-                add_grad(grads, *a, g.zip(&vb, |g, b| g * b));
-                add_grad(grads, *b, g.zip(&va, |g, a| g * a));
+                let (va, vb) = (&nodes[*a].value, &nodes[*b].value);
+                let ga = self.t_zip(g, vb, |g, b| g * b);
+                let gb = self.t_zip(g, va, |g, a| g * a);
+                add_grad(grads, *a, ga);
+                add_grad(grads, *b, gb);
             }
-            Op::MulConst(a, c) => add_grad(grads, *a, g.zip(c, |g, c| g * c)),
-            Op::Neg(a) => add_grad(grads, *a, g.map(|x| -x)),
+            Op::MulConst(a, c) => add_grad(grads, *a, self.t_zip(g, c, |g, c| g * c)),
+            Op::Neg(a) => add_grad(grads, *a, self.t_map(g, |x| -x)),
             Op::Scale(a, c) => {
                 let c = *c;
-                add_grad(grads, *a, g.map(|x| x * c));
+                add_grad(grads, *a, self.t_map(g, |x| x * c));
             }
-            Op::AddScalar(a) => add_grad(grads, *a, g.clone()),
+            Op::AddScalar(a) => add_grad(grads, *a, self.t_copy(g, g.shape())),
             Op::MatMul(a, b) => {
                 let va = &nodes[*a].value;
                 let vb = &nodes[*b].value;
                 let (batch, m, k) = shape::as_batched_matrix(va.shape());
                 let n = *vb.shape().last().unwrap();
-                // dA = G · Bᵀ ; dB = Aᵀ · G, per batch element.
-                let mut ga = vec![0.0f32; va.numel()];
-                let mut gb = vec![0.0f32; vb.numel()];
-                for bi in 0..batch {
-                    let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
-                    let asl = &va.data()[bi * m * k..(bi + 1) * m * k];
-                    let bsl = &vb.data()[bi * k * n..(bi + 1) * k * n];
-                    kernels::gemm_nt(gs, bsl, &mut ga[bi * m * k..(bi + 1) * m * k], m, n, k);
-                    kernels::gemm_tn(asl, gs, &mut gb[bi * k * n..(bi + 1) * k * n], k, m, n);
+                // dA = G · Bᵀ ; dB = Aᵀ · G.
+                let mut ga = self.alloc_zeroed(va.numel());
+                let mut gb = self.alloc_zeroed(vb.numel());
+                if vb.rank() == 2 {
+                    // Broadcast right operand: both gradients are single
+                    // flat GEMMs over the merged leading axes (dB sums
+                    // the batch contributions in ascending row order).
+                    kernels::gemm_nt(g.data(), vb.data(), &mut ga, batch * m, n, k);
+                    kernels::gemm_tn(va.data(), g.data(), &mut gb, k, batch * m, n);
+                } else {
+                    for bi in 0..batch {
+                        let gs = &g.data()[bi * m * n..(bi + 1) * m * n];
+                        let asl = &va.data()[bi * m * k..(bi + 1) * m * k];
+                        let bsl = &vb.data()[bi * k * n..(bi + 1) * k * n];
+                        kernels::gemm_nt(gs, bsl, &mut ga[bi * m * k..(bi + 1) * m * k], m, n, k);
+                        kernels::gemm_tn(asl, gs, &mut gb[bi * k * n..(bi + 1) * k * n], k, m, n);
+                    }
                 }
                 add_grad(grads, *a, Tensor::from_vec(ga, va.shape()));
                 add_grad(grads, *b, Tensor::from_vec(gb, vb.shape()));
             }
             Op::Relu(a) => {
                 let va = &nodes[*a].value;
-                add_grad(grads, *a, g.zip(va, |g, x| if x > 0.0 { g } else { 0.0 }));
+                add_grad(
+                    grads,
+                    *a,
+                    self.t_zip(g, va, |g, x| if x > 0.0 { g } else { 0.0 }),
+                );
             }
             Op::Gelu(a) => {
                 let va = &nodes[*a].value;
-                add_grad(grads, *a, g.zip(va, |g, x| g * gelu_bwd(x)));
+                add_grad(grads, *a, self.t_zip(g, va, |g, x| g * gelu_bwd(x)));
             }
             Op::Tanh(a) => {
                 let y = &nodes[id].value;
-                add_grad(grads, *a, g.zip(y, |g, y| g * (1.0 - y * y)));
+                add_grad(grads, *a, self.t_zip(g, y, |g, y| g * (1.0 - y * y)));
             }
-            Op::Softmax(a) => {
+            Op::Softmax(a) | Op::ScaledSoftmax(a, _) => {
+                let scale = match &nodes[id].op {
+                    Op::ScaledSoftmax(_, c) => *c,
+                    _ => 1.0,
+                };
                 let y = &nodes[id].value;
                 let d = *y.shape().last().unwrap();
-                let mut gx = vec![0.0f32; y.numel()];
-                for (row, (ys, gs)) in y.data().chunks(d).zip(g.data().chunks(d)).enumerate() {
-                    let dot: f32 = ys.iter().zip(gs.iter()).map(|(y, g)| y * g).sum();
-                    for j in 0..d {
-                        gx[row * d + j] = ys[j] * (gs[j] - dot);
-                    }
-                }
+                let mut gx = self.alloc_overwrite(y.numel());
+                kernels::softmax_bwd(y.data(), g.data(), scale, d, &mut gx);
                 add_grad(grads, *a, Tensor::from_vec(gx, y.shape()));
+            }
+            Op::AttnScores { q, k } => {
+                let vq = &nodes[*q].value;
+                let vk = &nodes[*k].value;
+                let s = vq.shape();
+                let (b, t, h, dh) = (s[0], s[1], s[2], s[3]);
+                // dQ = G · K ; dK = Gᵀ · Q, all in [B, T, H, dh] layout.
+                let mut gq = self.alloc_zeroed(vq.numel());
+                kernels::attn_context(g.data(), vk.data(), &mut gq, b, t, h, dh);
+                let mut gk = self.alloc_zeroed(vk.numel());
+                kernels::attn_context_t(g.data(), vq.data(), &mut gk, b, t, h, dh);
+                add_grad(grads, *q, Tensor::from_vec(gq, s));
+                add_grad(grads, *k, Tensor::from_vec(gk, s));
+            }
+            Op::AttnContext { attn, v } => {
+                let vw = &nodes[*attn].value;
+                let vv = &nodes[*v].value;
+                let s = vv.shape();
+                let (b, t, h, dh) = (s[0], s[1], s[2], s[3]);
+                // dW[b,h,i,j] = Σ_d g[b,i,h,d]·v[b,j,h,d]  (a scores product);
+                // dV = Wᵀ · G.
+                let mut gw = self.alloc_zeroed(vw.numel());
+                kernels::attn_scores(g.data(), vv.data(), &mut gw, b, t, h, dh);
+                let mut gv = self.alloc_zeroed(vv.numel());
+                kernels::attn_context_t(vw.data(), g.data(), &mut gv, b, t, h, dh);
+                add_grad(grads, *attn, Tensor::from_vec(gw, vw.shape()));
+                add_grad(grads, *v, Tensor::from_vec(gv, s));
             }
             Op::LayerNorm {
                 x,
@@ -477,9 +700,9 @@ impl Tape {
             } => {
                 let d = *xhat.shape().last().unwrap();
                 let vgamma = &nodes[*gamma].value;
-                let mut gx = vec![0.0f32; xhat.numel()];
-                let mut ggamma = vec![0.0f32; d];
-                let mut gbeta = vec![0.0f32; d];
+                let mut gx = self.alloc_overwrite(xhat.numel());
+                let mut ggamma = self.alloc_zeroed(d);
+                let mut gbeta = self.alloc_zeroed(d);
                 for (row, (xh, gs)) in xhat.data().chunks(d).zip(g.data().chunks(d)).enumerate() {
                     let mut mean_gxh = 0.0f32;
                     let mut mean_gxh_xh = 0.0f32;
@@ -503,7 +726,7 @@ impl Tape {
             }
             Op::Reshape(a) => {
                 let ashape = nodes[*a].value.shape().to_vec();
-                add_grad(grads, *a, g.reshape(&ashape));
+                add_grad(grads, *a, self.t_copy(g, &ashape));
             }
             Op::TransposeLast2(a) => add_grad(grads, *a, g.transpose_last2()),
             Op::TransposeAxes12(a) => add_grad(grads, *a, g.transpose_axes_1_2()),
@@ -511,7 +734,7 @@ impl Tape {
                 let xs = nodes[*x].value.shape().to_vec();
                 let (b, t, d) = (xs[0], xs[1], xs[2]);
                 let len = g.shape()[1];
-                let mut gx = vec![0.0f32; b * t * d];
+                let mut gx = self.alloc_zeroed(b * t * d);
                 for bi in 0..b {
                     let dst = bi * t * d + start * d;
                     let src = bi * len * d;
@@ -525,10 +748,11 @@ impl Tape {
                 let (b, d) = (nodes[id].value.shape()[0], nodes[id].value.shape()[2]);
                 for &p in parts {
                     let len = nodes[p].value.shape()[1];
-                    let mut gp = Vec::with_capacity(b * len * d);
+                    let mut gp = self.alloc_overwrite(b * len * d);
                     for bi in 0..b {
                         let base = bi * out_t * d + start * d;
-                        gp.extend_from_slice(&g.data()[base..base + len * d]);
+                        gp[bi * len * d..(bi + 1) * len * d]
+                            .copy_from_slice(&g.data()[base..base + len * d]);
                     }
                     add_grad(grads, p, Tensor::from_vec(gp, &[b, len, d]));
                     start += len;
@@ -537,7 +761,7 @@ impl Tape {
             Op::SelectAxis1 { x, idx } => {
                 let xs = nodes[*x].value.shape().to_vec();
                 let (b, t, d) = (xs[0], xs[1], xs[2]);
-                let mut gx = vec![0.0f32; b * t * d];
+                let mut gx = self.alloc_zeroed(b * t * d);
                 for bi in 0..b {
                     let dst = bi * t * d + idx * d;
                     gx[dst..dst + d].copy_from_slice(&g.data()[bi * d..(bi + 1) * d]);
@@ -548,7 +772,7 @@ impl Tape {
                 let xs = nodes[*a].value.shape().to_vec();
                 let (b, t, d) = (xs[0], xs[1], xs[2]);
                 let inv = 1.0 / t as f32;
-                let mut gx = vec![0.0f32; b * t * d];
+                let mut gx = self.alloc_overwrite(b * t * d);
                 for bi in 0..b {
                     for ti in 0..t {
                         for j in 0..d {
@@ -562,12 +786,12 @@ impl Tape {
                 let da = *nodes[*a].value.shape().last().unwrap();
                 let db = *nodes[*b].value.shape().last().unwrap();
                 let rows = nodes[id].value.numel() / (da + db);
-                let mut ga = Vec::with_capacity(rows * da);
-                let mut gb = Vec::with_capacity(rows * db);
+                let mut ga = self.alloc_overwrite(rows * da);
+                let mut gb = self.alloc_overwrite(rows * db);
                 for r in 0..rows {
                     let base = r * (da + db);
-                    ga.extend_from_slice(&g.data()[base..base + da]);
-                    gb.extend_from_slice(&g.data()[base + da..base + da + db]);
+                    ga[r * da..(r + 1) * da].copy_from_slice(&g.data()[base..base + da]);
+                    gb[r * db..(r + 1) * db].copy_from_slice(&g.data()[base + da..base + da + db]);
                 }
                 add_grad(grads, *a, Tensor::from_vec(ga, nodes[*a].value.shape()));
                 add_grad(grads, *b, Tensor::from_vec(gb, nodes[*b].value.shape()));
@@ -575,12 +799,14 @@ impl Tape {
             Op::MeanAll(a) => {
                 let va = &nodes[*a].value;
                 let c = g.item() / va.numel() as f32;
-                add_grad(grads, *a, Tensor::full(va.shape(), c));
+                let mut gx = self.alloc_overwrite(va.numel());
+                gx.fill(c);
+                add_grad(grads, *a, Tensor::from_vec(gx, va.shape()));
             }
             Op::MseLoss { pred, target } => {
                 let vp = &nodes[*pred].value;
                 let c = 2.0 * g.item() / vp.numel() as f32;
-                add_grad(grads, *pred, vp.zip(target, |p, t| c * (p - t)));
+                add_grad(grads, *pred, self.t_zip(vp, target, |p, t| c * (p - t)));
             }
         }
     }
@@ -607,186 +833,336 @@ impl<'t> Var<'t> {
     /// Elementwise/broadcast addition (see [`shape::broadcast_kind`] for
     /// the accepted broadcast forms of `rhs`).
     pub fn add(self, rhs: Var<'t>) -> Var<'t> {
-        let (va, vb) = (self.value(), rhs.value());
-        let bc = shape::broadcast_kind(va.shape(), vb.shape())
-            .unwrap_or_else(|| panic!("add: incompatible {:?} + {:?}", va.shape(), vb.shape()));
-        let out = match bc {
-            Broadcast::Same => va.zip(&vb, |a, b| a + b),
-            Broadcast::Leading | Broadcast::Inner => {
-                let bn = vb.numel();
-                let mut out = va.clone();
-                for chunk in out.data_mut().chunks_mut(bn) {
-                    for (o, &b) in chunk.iter_mut().zip(vb.data().iter()) {
-                        *o += b;
+        let (out, bc) = {
+            let va = self.tape.val(self.id);
+            let vb = self.tape.val(rhs.id);
+            let bc = shape::broadcast_kind(va.shape(), vb.shape())
+                .unwrap_or_else(|| panic!("add: incompatible {:?} + {:?}", va.shape(), vb.shape()));
+            let out = match bc {
+                Broadcast::Same => self.tape.t_zip(&va, &vb, |a, b| a + b),
+                Broadcast::Leading | Broadcast::Inner => {
+                    // Single fused pass (no copy-then-accumulate).
+                    let bn = vb.numel();
+                    let mut out = self.tape.alloc_overwrite(va.numel());
+                    for (ochunk, achunk) in out.chunks_mut(bn).zip(va.data().chunks(bn)) {
+                        for ((o, &a), &b) in
+                            ochunk.iter_mut().zip(achunk.iter()).zip(vb.data().iter())
+                        {
+                            *o = a + b;
+                        }
                     }
+                    Tensor::from_vec(out, va.shape())
                 }
-                out
-            }
+            };
+            (out, bc)
         };
         self.tape.push(Op::Add(self.id, rhs.id, bc), out)
     }
 
     /// Elementwise subtraction (identical shapes).
     pub fn sub(self, rhs: Var<'t>) -> Var<'t> {
-        let out = self.value().zip(&rhs.value(), |a, b| a - b);
+        let out = {
+            let (va, vb) = (self.tape.val(self.id), self.tape.val(rhs.id));
+            self.tape.t_zip(&va, &vb, |a, b| a - b)
+        };
         self.tape.push(Op::Sub(self.id, rhs.id), out)
     }
 
     /// Elementwise product (identical shapes).
     pub fn mul(self, rhs: Var<'t>) -> Var<'t> {
-        let out = self.value().zip(&rhs.value(), |a, b| a * b);
+        let out = {
+            let (va, vb) = (self.tape.val(self.id), self.tape.val(rhs.id));
+            self.tape.t_zip(&va, &vb, |a, b| a * b)
+        };
         self.tape.push(Op::Mul(self.id, rhs.id), out)
     }
 
     /// Elementwise product with a constant tensor (no gradient to it).
     pub fn mul_const(self, mask: &Tensor) -> Var<'t> {
-        let out = self.value().zip(mask, |a, b| a * b);
-        self.tape.push(Op::MulConst(self.id, mask.clone()), out)
+        let (out, saved) = {
+            let va = self.tape.val(self.id);
+            let out = self.tape.t_zip(&va, mask, |a, b| a * b);
+            (out, self.tape.t_copy(mask, mask.shape()))
+        };
+        self.tape.push(Op::MulConst(self.id, saved), out)
     }
 
     /// Negation.
     pub fn neg(self) -> Var<'t> {
-        let out = self.value().map(|x| -x);
+        let out = {
+            let va = self.tape.val(self.id);
+            self.tape.t_map(&va, |x| -x)
+        };
         self.tape.push(Op::Neg(self.id), out)
     }
 
     /// Multiply by a scalar constant.
     pub fn scale(self, c: f32) -> Var<'t> {
-        let out = self.value().map(|x| x * c);
+        let out = {
+            let va = self.tape.val(self.id);
+            self.tape.t_map(&va, |x| x * c)
+        };
         self.tape.push(Op::Scale(self.id, c), out)
     }
 
     /// Add a scalar constant.
     pub fn add_scalar(self, c: f32) -> Var<'t> {
-        let out = self.value().map(|x| x + c);
+        let out = {
+            let va = self.tape.val(self.id);
+            self.tape.t_map(&va, |x| x + c)
+        };
         self.tape.push(Op::AddScalar(self.id), out)
     }
 
     /// Matrix product. Operands are stacks of matrices: rank-2 tensors
     /// multiply plainly; equal leading dimensions multiply batch-wise.
+    /// A rank-2 right operand against a higher-rank left operand is
+    /// *broadcast*: every batch row multiplies the same matrix, fused
+    /// into one flat GEMM over all leading axes — the layer-application
+    /// case (`[B, T, K] · [K, N] -> [B, T, N]`) with no reshape copies.
     pub fn matmul(self, rhs: Var<'t>) -> Var<'t> {
-        let va = self.value();
-        let vb = rhs.value();
-        let (ba, m, k) = shape::as_batched_matrix(va.shape());
-        let (bb, k2, n) = shape::as_batched_matrix(vb.shape());
-        assert_eq!(
-            k,
-            k2,
-            "matmul inner dims: {:?} x {:?}",
-            va.shape(),
-            vb.shape()
-        );
-        assert_eq!(
-            ba,
-            bb,
-            "matmul batch dims: {:?} x {:?}",
-            va.shape(),
-            vb.shape()
-        );
-        assert_eq!(
-            va.shape()[..va.rank() - 2],
-            vb.shape()[..vb.rank() - 2],
-            "matmul leading dims must match elementwise"
-        );
-        let mut out = vec![0.0f32; ba * m * n];
-        for bi in 0..ba {
-            kernels::gemm_nn(
-                &va.data()[bi * m * k..(bi + 1) * m * k],
-                &vb.data()[bi * k * n..(bi + 1) * k * n],
-                &mut out[bi * m * n..(bi + 1) * m * n],
-                m,
+        let (out, oshape) = {
+            let va = self.tape.val(self.id);
+            let vb = self.tape.val(rhs.id);
+            let (ba, m, k) = shape::as_batched_matrix(va.shape());
+            let (bb, k2, n) = shape::as_batched_matrix(vb.shape());
+            assert_eq!(
                 k,
-                n,
+                k2,
+                "matmul inner dims: {:?} x {:?}",
+                va.shape(),
+                vb.shape()
             );
-        }
-        let mut oshape = va.shape()[..va.rank() - 2].to_vec();
-        oshape.push(m);
-        oshape.push(n);
+            let mut oshape = va.shape()[..va.rank() - 2].to_vec();
+            oshape.push(m);
+            oshape.push(n);
+            let mut out = self.tape.alloc_zeroed(ba * m * n);
+            if vb.rank() == 2 {
+                // Broadcast: one flat [ba*m, k] · [k, n] product.
+                kernels::gemm_nn(va.data(), vb.data(), &mut out, ba * m, k, n);
+            } else {
+                assert_eq!(
+                    ba,
+                    bb,
+                    "matmul batch dims: {:?} x {:?}",
+                    va.shape(),
+                    vb.shape()
+                );
+                assert_eq!(
+                    va.shape()[..va.rank() - 2],
+                    vb.shape()[..vb.rank() - 2],
+                    "matmul leading dims must match elementwise"
+                );
+                for bi in 0..ba {
+                    kernels::gemm_nn(
+                        &va.data()[bi * m * k..(bi + 1) * m * k],
+                        &vb.data()[bi * k * n..(bi + 1) * k * n],
+                        &mut out[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+            }
+            (out, oshape)
+        };
         self.tape
             .push(Op::MatMul(self.id, rhs.id), Tensor::from_vec(out, &oshape))
     }
 
     /// Rectified linear unit.
     pub fn relu(self) -> Var<'t> {
-        let out = self.value().map(|x| x.max(0.0));
+        let out = {
+            let va = self.tape.val(self.id);
+            self.tape.t_map(&va, |x| x.max(0.0))
+        };
         self.tape.push(Op::Relu(self.id), out)
     }
 
     /// GELU activation (tanh approximation, as in BERT/ViT).
     pub fn gelu(self) -> Var<'t> {
-        let out = self.value().map(gelu_fwd);
+        let out = {
+            let va = self.tape.val(self.id);
+            self.tape.t_map(&va, gelu_fwd)
+        };
         self.tape.push(Op::Gelu(self.id), out)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(self) -> Var<'t> {
-        let out = self.value().map(f32::tanh);
+        let out = {
+            let va = self.tape.val(self.id);
+            self.tape.t_map(&va, f32::tanh)
+        };
         self.tape.push(Op::Tanh(self.id), out)
     }
 
     /// Softmax over the last axis (numerically stabilized).
     pub fn softmax_last(self) -> Var<'t> {
-        let out = softmax_last(&self.value());
+        let out = {
+            let va = self.tape.val(self.id);
+            let d = *va.shape().last().expect("softmax requires rank >= 1");
+            let mut buf = self.tape.alloc_overwrite(va.numel());
+            kernels::scaled_softmax_fwd(va.data(), 1.0, d, &mut buf);
+            Tensor::from_vec(buf, va.shape())
+        };
         self.tape.push(Op::Softmax(self.id), out)
+    }
+
+    /// Fused `softmax(c * x)` over the last axis (numerically
+    /// stabilized): one kernel and one tape node instead of a
+    /// materialized `scale` followed by `softmax_last`. This is the
+    /// attention-score nonlinearity (`c = 1/√dh`).
+    pub fn scaled_softmax_last(self, c: f32) -> Var<'t> {
+        let out = {
+            let va = self.tape.val(self.id);
+            let d = *va.shape().last().expect("softmax requires rank >= 1");
+            let mut buf = self.tape.alloc_overwrite(va.numel());
+            kernels::scaled_softmax_fwd(va.data(), c, d, &mut buf);
+            Tensor::from_vec(buf, va.shape())
+        };
+        self.tape.push(Op::ScaledSoftmax(self.id, c), out)
+    }
+
+    /// Per-head attention scores `Q·Kᵀ` computed directly from
+    /// head-interleaved layouts: `self` and `k` are `[B, T, H, dh]`
+    /// (the natural reshape of a projection output — no transpose), the
+    /// result is `[B, H, T, T]`.
+    pub fn attn_scores(self, k: Var<'t>) -> Var<'t> {
+        let (out, oshape) = {
+            let vq = self.tape.val(self.id);
+            let vk = self.tape.val(k.id);
+            assert_eq!(vq.rank(), 4, "attn_scores expects [B, T, H, dh]");
+            assert_eq!(
+                vq.shape(),
+                vk.shape(),
+                "attn_scores operands must agree: {:?} vs {:?}",
+                vq.shape(),
+                vk.shape()
+            );
+            let s = vq.shape();
+            let (b, t, h, dh) = (s[0], s[1], s[2], s[3]);
+            let mut out = self.tape.alloc_zeroed(b * h * t * t);
+            kernels::attn_scores(vq.data(), vk.data(), &mut out, b, t, h, dh);
+            (out, vec![b, h, t, t])
+        };
+        self.tape.push(
+            Op::AttnScores {
+                q: self.id,
+                k: k.id,
+            },
+            Tensor::from_vec(out, &oshape),
+        )
+    }
+
+    /// Attention-weighted values: `self` is `[B, H, T, T]` attention
+    /// weights, `v` is `[B, T, H, dh]` values; the result comes back in
+    /// `[B, T, H, dh]` layout, so merging heads is a plain reshape.
+    pub fn attn_context(self, v: Var<'t>) -> Var<'t> {
+        let out = {
+            let vw = self.tape.val(self.id);
+            let vv = self.tape.val(v.id);
+            assert_eq!(vw.rank(), 4, "attn_context expects [B, H, T, T] weights");
+            assert_eq!(vv.rank(), 4, "attn_context expects [B, T, H, dh] values");
+            let (b, h, t, t2) = (vw.shape()[0], vw.shape()[1], vw.shape()[2], vw.shape()[3]);
+            let dh = vv.shape()[3];
+            assert_eq!(t, t2, "attention weights must be square per head");
+            assert_eq!(
+                (vv.shape()[0], vv.shape()[1], vv.shape()[2]),
+                (b, t, h),
+                "attn_context values {:?} incompatible with weights {:?}",
+                vv.shape(),
+                vw.shape()
+            );
+            let mut out = self.tape.alloc_zeroed(b * t * h * dh);
+            kernels::attn_context(vw.data(), vv.data(), &mut out, b, t, h, dh);
+            Tensor::from_vec(out, &[b, t, h, dh])
+        };
+        self.tape.push(
+            Op::AttnContext {
+                attn: self.id,
+                v: v.id,
+            },
+            out,
+        )
     }
 
     /// Fused layer normalization over the last axis with affine
     /// parameters `gamma`, `beta` (both shape `[D]`).
     pub fn layer_norm(self, gamma: Var<'t>, beta: Var<'t>, eps: f32) -> Var<'t> {
-        let x = self.value();
-        let d = *x.shape().last().expect("layer_norm requires rank >= 1");
-        let vg = gamma.value();
-        let vb = beta.value();
-        assert_eq!(vg.shape(), &[d], "gamma must be [D]");
-        assert_eq!(vb.shape(), &[d], "beta must be [D]");
-        let rows = x.numel() / d;
-        let mut xhat = vec![0.0f32; x.numel()];
-        let mut rstd = vec![0.0f32; rows];
-        let mut out = vec![0.0f32; x.numel()];
-        for (r, row) in x.data().chunks(d).enumerate() {
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let rs = 1.0 / (var + eps).sqrt();
-            rstd[r] = rs;
-            for j in 0..d {
-                let xh = (row[j] - mean) * rs;
-                xhat[r * d + j] = xh;
-                out[r * d + j] = xh * vg.data()[j] + vb.data()[j];
+        let (xhat, rstd, out, xshape) = {
+            let x = self.tape.val(self.id);
+            let d = *x.shape().last().expect("layer_norm requires rank >= 1");
+            let vg = self.tape.val(gamma.id);
+            let vb = self.tape.val(beta.id);
+            assert_eq!(vg.shape(), &[d], "gamma must be [D]");
+            assert_eq!(vb.shape(), &[d], "beta must be [D]");
+            let rows = x.numel() / d;
+            let mut xhat = self.tape.alloc_overwrite(x.numel());
+            let mut rstd = vec![0.0f32; rows];
+            let mut out = self.tape.alloc_overwrite(x.numel());
+            for (r, row) in x.data().chunks(d).enumerate() {
+                let mean = row.iter().sum::<f32>() / d as f32;
+                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let rs = 1.0 / (var + eps).sqrt();
+                rstd[r] = rs;
+                for j in 0..d {
+                    let xh = (row[j] - mean) * rs;
+                    xhat[r * d + j] = xh;
+                    out[r * d + j] = xh * vg.data()[j] + vb.data()[j];
+                }
             }
-        }
+            (xhat, rstd, out, x.shape().to_vec())
+        };
         self.tape.push(
             Op::LayerNorm {
                 x: self.id,
                 gamma: gamma.id,
                 beta: beta.id,
-                xhat: Tensor::from_vec(xhat, x.shape()),
+                xhat: Tensor::from_vec(xhat, &xshape),
                 rstd,
             },
-            Tensor::from_vec(out, x.shape()),
+            Tensor::from_vec(out, &xshape),
         )
     }
 
     /// Same data, new shape.
     pub fn reshape(self, new_shape: &[usize]) -> Var<'t> {
-        let out = self.value().reshape(new_shape);
+        let out = {
+            let va = self.tape.val(self.id);
+            shape::check_reshape(va.shape(), new_shape);
+            self.tape.t_copy(&va, new_shape)
+        };
         self.tape.push(Op::Reshape(self.id), out)
     }
 
     /// Swap the last two axes (batched matrix transpose).
     pub fn transpose_last2(self) -> Var<'t> {
-        let out = self.value().transpose_last2();
+        let out = self.tape.val(self.id).transpose_last2();
         self.tape.push(Op::TransposeLast2(self.id), out)
     }
 
     /// Swap axes 1 and 2 of a rank-4 value: `[A, B, C, D] -> [A, C, B, D]`.
     pub fn transpose_axes_1_2(self) -> Var<'t> {
-        let out = self.value().transpose_axes_1_2();
+        let out = self.tape.val(self.id).transpose_axes_1_2();
         self.tape.push(Op::TransposeAxes12(self.id), out)
     }
 
     /// Rows `[start, start+len)` along axis 1 of a rank-3 value.
     pub fn slice_axis1(self, start: usize, len: usize) -> Var<'t> {
-        let out = self.value().slice_axis1(start, len);
+        let out = {
+            let x = self.tape.val(self.id);
+            assert_eq!(x.rank(), 3, "slice_axis1 requires rank 3");
+            let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+            assert!(start + len <= t, "slice_axis1 out of range");
+            let mut out = self.tape.alloc_overwrite(b * len * d);
+            for bi in 0..b {
+                let base = bi * t * d + start * d;
+                out[bi * len * d..(bi + 1) * len * d]
+                    .copy_from_slice(&x.data()[base..base + len * d]);
+            }
+            Tensor::from_vec(out, &[b, len, d])
+        };
         self.tape.push(Op::SliceAxis1 { x: self.id, start }, out)
     }
 
@@ -794,106 +1170,116 @@ impl<'t> Var<'t> {
     pub fn concat_axis1(parts: &[Var<'t>]) -> Var<'t> {
         assert!(!parts.is_empty(), "concat_axis1 of nothing");
         let tape = parts[0].tape;
-        let vals: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
-        let (b, d) = (vals[0].shape()[0], vals[0].shape()[2]);
-        let total_t: usize = vals.iter().map(|v| v.shape()[1]).sum();
-        for v in &vals {
-            assert_eq!(v.rank(), 3, "concat_axis1 requires rank 3");
-            assert_eq!(v.shape()[0], b, "batch dims must match");
-            assert_eq!(v.shape()[2], d, "feature dims must match");
-        }
-        let mut out = Vec::with_capacity(b * total_t * d);
-        for bi in 0..b {
+        let out = {
+            let nodes = tape.nodes.borrow();
+            let vals: Vec<&Tensor> = parts.iter().map(|p| &nodes[p.id].value).collect();
+            let (b, d) = (vals[0].shape()[0], vals[0].shape()[2]);
+            let total_t: usize = vals.iter().map(|v| v.shape()[1]).sum();
             for v in &vals {
-                let t = v.shape()[1];
-                out.extend_from_slice(&v.data()[bi * t * d..(bi + 1) * t * d]);
+                assert_eq!(v.rank(), 3, "concat_axis1 requires rank 3");
+                assert_eq!(v.shape()[0], b, "batch dims must match");
+                assert_eq!(v.shape()[2], d, "feature dims must match");
             }
-        }
-        tape.push(
-            Op::ConcatAxis1(parts.iter().map(|p| p.id).collect()),
-            Tensor::from_vec(out, &[b, total_t, d]),
-        )
+            let mut out = tape.alloc_overwrite(b * total_t * d);
+            let mut dst = 0usize;
+            for bi in 0..b {
+                for v in &vals {
+                    let t = v.shape()[1];
+                    out[dst..dst + t * d].copy_from_slice(&v.data()[bi * t * d..(bi + 1) * t * d]);
+                    dst += t * d;
+                }
+            }
+            Tensor::from_vec(out, &[b, total_t, d])
+        };
+        tape.push(Op::ConcatAxis1(parts.iter().map(|p| p.id).collect()), out)
     }
 
     /// Select slot `idx` along axis 1: `[B, T, D] -> [B, D]`.
     pub fn select_axis1(self, idx: usize) -> Var<'t> {
-        let x = self.value();
-        assert_eq!(x.rank(), 3, "select_axis1 requires rank 3");
-        let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        assert!(idx < t, "select_axis1 index out of range");
-        let mut out = Vec::with_capacity(b * d);
-        for bi in 0..b {
-            let base = bi * t * d + idx * d;
-            out.extend_from_slice(&x.data()[base..base + d]);
-        }
-        self.tape.push(
-            Op::SelectAxis1 { x: self.id, idx },
-            Tensor::from_vec(out, &[b, d]),
-        )
+        let out = {
+            let x = self.tape.val(self.id);
+            assert_eq!(x.rank(), 3, "select_axis1 requires rank 3");
+            let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+            assert!(idx < t, "select_axis1 index out of range");
+            let mut out = self.tape.alloc_overwrite(b * d);
+            for bi in 0..b {
+                let base = bi * t * d + idx * d;
+                out[bi * d..(bi + 1) * d].copy_from_slice(&x.data()[base..base + d]);
+            }
+            Tensor::from_vec(out, &[b, d])
+        };
+        self.tape.push(Op::SelectAxis1 { x: self.id, idx }, out)
     }
 
     /// Mean over axis 1: `[B, T, D] -> [B, D]`.
     pub fn mean_axis1(self) -> Var<'t> {
-        let x = self.value();
-        assert_eq!(x.rank(), 3, "mean_axis1 requires rank 3");
-        let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        let mut out = vec![0.0f32; b * d];
-        for bi in 0..b {
-            for ti in 0..t {
-                for j in 0..d {
-                    out[bi * d + j] += x.data()[bi * t * d + ti * d + j];
+        let out = {
+            let x = self.tape.val(self.id);
+            assert_eq!(x.rank(), 3, "mean_axis1 requires rank 3");
+            let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+            let mut out = self.tape.alloc_zeroed(b * d);
+            for bi in 0..b {
+                for ti in 0..t {
+                    for j in 0..d {
+                        out[bi * d + j] += x.data()[bi * t * d + ti * d + j];
+                    }
                 }
             }
-        }
-        let inv = 1.0 / t as f32;
-        out.iter_mut().for_each(|v| *v *= inv);
-        self.tape
-            .push(Op::MeanAxis1(self.id), Tensor::from_vec(out, &[b, d]))
+            let inv = 1.0 / t as f32;
+            out.iter_mut().for_each(|v| *v *= inv);
+            Tensor::from_vec(out, &[b, d])
+        };
+        self.tape.push(Op::MeanAxis1(self.id), out)
     }
 
     /// Concatenate two rank-2 values along the last axis:
     /// `[B, D1] ⊕ [B, D2] -> [B, D1 + D2]`.
     pub fn concat_last(self, rhs: Var<'t>) -> Var<'t> {
-        let (va, vb) = (self.value(), rhs.value());
-        assert_eq!(va.rank(), 2, "concat_last requires rank 2");
-        assert_eq!(vb.rank(), 2, "concat_last requires rank 2");
-        assert_eq!(va.shape()[0], vb.shape()[0], "batch dims must match");
-        let (b, da, db) = (va.shape()[0], va.shape()[1], vb.shape()[1]);
-        let mut out = Vec::with_capacity(b * (da + db));
-        for bi in 0..b {
-            out.extend_from_slice(&va.data()[bi * da..(bi + 1) * da]);
-            out.extend_from_slice(&vb.data()[bi * db..(bi + 1) * db]);
-        }
-        self.tape.push(
-            Op::ConcatLast(self.id, rhs.id),
-            Tensor::from_vec(out, &[b, da + db]),
-        )
+        let out = {
+            let va = self.tape.val(self.id);
+            let vb = self.tape.val(rhs.id);
+            assert_eq!(va.rank(), 2, "concat_last requires rank 2");
+            assert_eq!(vb.rank(), 2, "concat_last requires rank 2");
+            assert_eq!(va.shape()[0], vb.shape()[0], "batch dims must match");
+            let (b, da, db) = (va.shape()[0], va.shape()[1], vb.shape()[1]);
+            let mut out = self.tape.alloc_overwrite(b * (da + db));
+            for bi in 0..b {
+                let base = bi * (da + db);
+                out[base..base + da].copy_from_slice(&va.data()[bi * da..(bi + 1) * da]);
+                out[base + da..base + da + db].copy_from_slice(&vb.data()[bi * db..(bi + 1) * db]);
+            }
+            Tensor::from_vec(out, &[b, da + db])
+        };
+        self.tape.push(Op::ConcatLast(self.id, rhs.id), out)
     }
 
     /// Mean over all elements, producing shape `[1]`.
     pub fn mean_all(self) -> Var<'t> {
-        let out = Tensor::scalar(self.value().mean());
+        let out = Tensor::scalar(self.tape.val(self.id).mean());
         self.tape.push(Op::MeanAll(self.id), out)
     }
 
     /// Mean squared error against a constant target, producing shape `[1]`.
     pub fn mse_loss(self, target: &Tensor) -> Var<'t> {
-        let p = self.value();
-        assert_eq!(p.shape(), target.shape(), "mse_loss shape mismatch");
-        let loss = p
-            .data()
-            .iter()
-            .zip(target.data().iter())
-            .map(|(p, t)| {
-                let d = (p - t) as f64;
-                d * d
-            })
-            .sum::<f64>()
-            / p.numel() as f64;
+        let (loss, saved) = {
+            let p = self.tape.val(self.id);
+            assert_eq!(p.shape(), target.shape(), "mse_loss shape mismatch");
+            let loss = p
+                .data()
+                .iter()
+                .zip(target.data().iter())
+                .map(|(p, t)| {
+                    let d = (p - t) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                / p.numel() as f64;
+            (loss, self.tape.t_copy(target, target.shape()))
+        };
         self.tape.push(
             Op::MseLoss {
                 pred: self.id,
-                target: target.clone(),
+                target: saved,
             },
             Tensor::scalar(loss as f32),
         )
@@ -1001,6 +1387,106 @@ mod tests {
         let y1 = t.input(x).softmax_last().value();
         let y2 = t.input(shifted).softmax_last().value();
         assert!(y1.allclose(&y2, 1e-5));
+    }
+
+    #[test]
+    fn scaled_softmax_matches_scale_then_softmax() {
+        let t = Tape::new();
+        let x = Tensor::randn(&[3, 6], 17);
+        let fused = t.input(x.clone()).scaled_softmax_last(0.25).value();
+        let composed = t.input(x).scale(0.25).softmax_last().value();
+        assert!(fused.allclose(&composed, 1e-6));
+    }
+
+    #[test]
+    fn attn_ops_match_transpose_composition() {
+        // The transpose-free path must agree (values and gradients) with
+        // the classic reshape/transpose/matmul formulation.
+        let (b, t, h, dh) = (2usize, 5, 2, 3);
+        let d = h * dh;
+        let q = Param::new("q", Tensor::randn(&[b, t, h, dh], 1));
+        let k = Param::new("k", Tensor::randn(&[b, t, h, dh], 2));
+        let v = Param::new("v", Tensor::randn(&[b, t, h, dh], 3));
+        let target = Tensor::randn(&[b, t, d], 4);
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let run = |fused: bool| {
+            for p in [&q, &k, &v] {
+                p.zero_grad();
+            }
+            let tape = Tape::new();
+            let (qv, kv, vv) = (tape.param(&q), tape.param(&k), tape.param(&v));
+            let out = if fused {
+                let attn = qv.attn_scores(kv).scaled_softmax_last(scale);
+                attn.attn_context(vv).reshape(&[b, t, d])
+            } else {
+                fn split<'a>(x: Var<'a>) -> Var<'a> {
+                    x.transpose_axes_1_2()
+                }
+                let attn = split(qv)
+                    .matmul(split(kv).transpose_last2())
+                    .scale(scale)
+                    .softmax_last();
+                attn.matmul(split(vv))
+                    .transpose_axes_1_2()
+                    .reshape(&[b, t, d])
+            };
+            let loss = out.mse_loss(&target);
+            tape.backward(loss);
+            (
+                out.value(),
+                loss.value().item(),
+                q.grad(),
+                k.grad(),
+                v.grad(),
+            )
+        };
+        let fused = run(true);
+        let classic = run(false);
+        assert!(fused.0.allclose(&classic.0, 1e-5), "forward diverged");
+        assert!((fused.1 - classic.1).abs() < 1e-6, "loss diverged");
+        assert!(fused.2.allclose(&classic.2, 1e-4), "dQ diverged");
+        assert!(fused.3.allclose(&classic.3, 1e-4), "dK diverged");
+        assert!(fused.4.allclose(&classic.4, 1e-4), "dV diverged");
+    }
+
+    #[test]
+    fn tape_reset_recycles_and_reproduces() {
+        let p = Param::new("w", Tensor::randn(&[6, 6], 9));
+        let x = Tensor::randn(&[4, 6], 10);
+        let run = |tape: &Tape| {
+            let y = tape.input(x.clone()).matmul(tape.param(&p));
+            let loss = y.mse_loss(&Tensor::zeros(&[4, 6]));
+            let bundle = tape.backward_params(loss);
+            (loss.value().item(), bundle.get(&p).unwrap().clone())
+        };
+        let mut tape = Tape::with_seed(5);
+        let first = run(&tape);
+        let nodes = tape.len();
+        let retired_by_backward = tape.scratch_buffers();
+        tape.reset(5);
+        assert!(tape.is_empty());
+        assert!(
+            tape.scratch_buffers() > retired_by_backward,
+            "reset must retire node buffers into the arena"
+        );
+        let second = run(&tape);
+        assert_eq!(tape.len(), nodes, "graph must rebuild identically");
+        assert_eq!(first.0, second.0, "loss must be bit-identical after reset");
+        assert_eq!(first.1, second.1, "grads must be bit-identical after reset");
+    }
+
+    #[test]
+    fn backward_params_recycles_intermediates() {
+        let p = Param::new("w", Tensor::randn(&[8, 8], 11));
+        let tape = Tape::with_seed(7);
+        let y = tape.param(&p).relu().matmul(tape.param(&p));
+        let loss = y.mse_loss(&Tensor::zeros(&[8, 8]));
+        tape.backward_params(loss);
+        assert!(
+            tape.scratch_buffers() > 0,
+            "backward_params must retire intermediate gradients"
+        );
     }
 
     #[test]

@@ -7,11 +7,21 @@
 //! `sample_size` timed samples of an adaptively chosen iteration batch —
 //! and results are printed as a plain text table (median, min, max, and
 //! derived throughput). No statistics, plots, or baselines.
+//!
+//! Like upstream criterion, passing `--quick` (or setting
+//! `NTT_BENCH_QUICK`) trades precision for speed: fewer samples and a
+//! smaller per-sample time target, for CI smoke runs.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// True when the binary was invoked with `--quick` (as `cargo bench ...
+/// -- --quick` forwards it) or `NTT_BENCH_QUICK` is set.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("NTT_BENCH_QUICK").is_some()
+}
 
 /// Top-level benchmark driver (upstream: configuration + report state).
 #[derive(Default)]
@@ -114,12 +124,17 @@ pub struct Bencher {
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up + batch size estimation: aim for >= 1 ms per sample.
+        // Warm-up + batch size estimation: aim for >= 1 ms per sample
+        // (0.2 ms in quick mode).
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(50));
-        let batch =
-            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        let target = if quick_mode() {
+            Duration::from_micros(200)
+        } else {
+            Duration::from_millis(1)
+        };
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
 
         let mut per_iter_ns = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
@@ -142,7 +157,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
     f: &mut F,
 ) {
     let mut b = Bencher {
-        sample_size,
+        sample_size: if quick_mode() {
+            sample_size.min(3)
+        } else {
+            sample_size
+        },
         result: None,
     };
     f(&mut b);
@@ -204,7 +223,8 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // cargo bench passes `--bench`; nothing else is supported.
+            // cargo bench passes `--bench`; `--quick` (see [`quick_mode`])
+            // is honored, everything else is ignored.
             $( $group(); )+
         }
     };
