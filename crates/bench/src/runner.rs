@@ -51,15 +51,9 @@ impl Env {
             _ => Scale::Quick,
         };
         let mut seed = 0u64;
-        let mut threads = match std::env::var("NTT_THREADS") {
-            Ok(s) => s.parse().unwrap_or_else(|_| {
-                eprintln!(
-                    "warning: NTT_THREADS={s:?} is not an integer; using 0 (one worker per core)"
-                );
-                0usize
-            }),
-            Err(_) => 0usize,
-        };
+        // One NTT_THREADS parser for the workspace (trainer, fleet,
+        // serve bench, and every table binary): ntt_core::env_threads.
+        let mut threads = ntt_core::env_threads(0);
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {

@@ -41,6 +41,7 @@ pub mod federated;
 mod model;
 pub mod pipeline;
 mod task;
+mod threads;
 mod trainer;
 
 pub use checkpoint::{Checkpoint, HeadSpec, LoadedModel};
@@ -49,6 +50,7 @@ pub use model::{build_head, DelayHead, DropHead, MctHead, Ntt};
 pub use ntt_nn::Head;
 pub use pipeline::{Experiment, FinetuneOpts, Finetuned, Pretrained};
 pub use task::{DelayTask, DropTask, HeadTask, MctTask, Task};
+pub use threads::env_threads;
 pub use trainer::{
     eval_delay, eval_mct, evaluate, train, train_delay, train_mct, EvalReport, ParStrategy,
     TrainConfig, TrainMode, TrainReport,

@@ -16,7 +16,7 @@
 //! Each optimizer step's batch is split into fixed-size microbatches
 //! ([`ParStrategy::microbatch`]); workers on a scoped thread pool claim
 //! shards from an atomic cursor, run forward/backward on their own
-//! [`Tape`], and return a detached
+//! [`ntt_tensor::Tape`], and return a detached
 //! [`ParamGrads`](ntt_tensor::ParamGrads) bundle. The coordinator
 //! reduces bundles **in shard-index order** and applies one
 //! [`Adam::step_with`] update — the same reorder-buffer discipline as
@@ -31,9 +31,9 @@ use crate::model::Ntt;
 use crate::task::{DelayTask, MctTask, Task};
 use ntt_data::BatchIter;
 use ntt_nn::{clip_param_grads, Adam, LrSchedule, Module};
-use ntt_tensor::{kernels, splitmix64, Param, ParamGrads, Tape};
+use ntt_tensor::{kernels, splitmix64, Param, ParamGrads, TapePool};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// Which parameters fine-tuning updates.
@@ -82,24 +82,11 @@ impl ParStrategy {
         }
     }
 
-    /// Honor `NTT_THREADS` (`0` = auto, unset = sequential). Training
-    /// results do not depend on the value — only wall-clock does. An
-    /// unparsable value falls back to sequential with a warning (a
-    /// silent fallback would be invisible: the numbers are identical
-    /// either way, only hours of wall-clock differ).
+    /// Honor `NTT_THREADS` (`0` = auto, unset = sequential; one parser
+    /// for the whole workspace, see [`crate::env_threads`]). Training
+    /// results do not depend on the value — only wall-clock does.
     pub fn from_env() -> Self {
-        match std::env::var("NTT_THREADS") {
-            Ok(s) => match s.parse() {
-                Ok(n) => Self::with_threads(n),
-                Err(_) => {
-                    eprintln!(
-                        "warning: NTT_THREADS={s:?} is not an integer; training runs sequentially"
-                    );
-                    Self::single()
-                }
-            },
-            Err(_) => Self::single(),
-        }
+        Self::with_threads(crate::env_threads(1))
     }
 
     /// Worker count for `n_shards` work items.
@@ -270,31 +257,6 @@ fn fanout<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -> V
         .collect()
 }
 
-/// Free list of reusable [`Tape`]s: a worker pops one, resets it for
-/// its shard (which retires the previous step's buffers into the tape's
-/// scratch arena), runs forward/backward, and returns it. Across
-/// optimizer steps the same arenas are recycled, so the hot loop stops
-/// paying allocator churn for forward intermediates and backward
-/// buffers. Purely a memory optimization: the reset seed fully
-/// determines the RNG stream, so results are bit-identical to fresh
-/// tapes.
-struct TapePool(Mutex<Vec<Tape>>);
-
-impl TapePool {
-    fn new() -> Self {
-        TapePool(Mutex::new(Vec::new()))
-    }
-
-    /// Run `f` on a pooled tape reset to `seed`.
-    fn with<R>(&self, seed: u64, f: impl FnOnce(&Tape) -> R) -> R {
-        let mut tape = self.0.lock().unwrap().pop().unwrap_or_default();
-        tape.reset(seed);
-        let r = f(&tape);
-        self.0.lock().unwrap().push(tape);
-        r
-    }
-}
-
 /// One optimizer step: fan the batch out as microbatches, reduce the
 /// per-shard gradient bundles in shard-index order, and return the
 /// recombined batch loss plus the reduced bundle.
@@ -355,7 +317,7 @@ pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> 
     let mut steps = 0usize;
     // One pool of tapes for the whole run: scratch arenas survive from
     // step to step, so steady-state steps allocate (almost) nothing.
-    let tapes = TapePool::new();
+    let tapes = TapePool::training();
     for epoch in 0..cfg.epochs {
         let mut sum = 0.0f64;
         let mut norm_sum = 0.0f64;
@@ -391,14 +353,18 @@ pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> 
     }
 }
 
-/// Evaluate `task` on `ntt` (no gradients, dropout off). Batches fan
-/// out over `par` workers; squared errors are accumulated in batch
-/// order, so the result is thread-count invariant like training.
+/// Evaluate `task` on `ntt` (grad-free, dropout off). Each batch runs
+/// on a pooled **inference** tape — the identical forward kernels with
+/// no backward graph recorded and no gradient slots allocated, so
+/// results are bit-identical to what a recording tape would produce
+/// while paying none of the autodiff overhead. Batches fan out over
+/// `par` workers; squared errors are accumulated in batch order, so the
+/// result is thread-count invariant like training.
 pub fn evaluate(ntt: &Ntt, task: &dyn Task, batch_size: usize, par: &ParStrategy) -> EvalReport {
     assert!(!task.is_empty(), "evaluating on an empty dataset");
     ntt.set_training(false);
     let batches: Vec<Vec<usize>> = BatchIter::new(task.len(), batch_size, 0, false).collect();
-    let tapes = TapePool::new();
+    let tapes = TapePool::inference();
     let run_batch = |bi: usize| -> (f64, usize) {
         let idx = &batches[bi];
         // Dropout is off, so no stochastic layer draws from the stream
@@ -483,6 +449,7 @@ mod tests {
     use crate::model::{DelayHead, MctHead};
     use ntt_data::{DatasetConfig, DelayDataset, MctDataset, TraceData};
     use ntt_sim::scenarios::{run, Scenario, ScenarioConfig};
+    use ntt_tensor::Tape;
     use std::sync::Arc;
 
     fn tiny_model() -> (Ntt, DelayHead, MctHead) {

@@ -147,18 +147,24 @@ impl Default for DatasetConfig {
     }
 }
 
-fn window_features(
+/// Featurize one window of packets exactly as the training pipeline
+/// does: times relative to the window's first packet, per-channel
+/// z-scores from `norm`, optional §3 masking of the most recent
+/// packet's delay (the pre-training target — at serving time the value
+/// being predicted), then the feature-ablation `mask`. This is the
+/// **single** featurization path: the datasets call it per window, and
+/// `ntt-serve` sessions call it on live packet streams, so a served
+/// model can never see features scaled differently than it trained on.
+pub fn featurize_window(
     pkts: &[PacketView],
-    end: usize,
-    seq_len: usize,
     norm: &Normalizer,
     mask: FeatureMask,
     mask_last_delay: bool,
 ) -> Vec<f32> {
-    let start = end + 1 - seq_len;
-    let t0 = pkts[start].t;
-    let mut out = Vec::with_capacity(seq_len * NUM_FEATURES);
-    for p in &pkts[start..=end] {
+    assert!(!pkts.is_empty(), "featurizing an empty window");
+    let t0 = pkts[0].t;
+    let mut out = Vec::with_capacity(pkts.len() * NUM_FEATURES);
+    for p in pkts {
         out.push(norm.apply_one(CH_TIME, (p.t - t0) as f32));
         out.push(norm.apply_one(CH_SIZE, p.size));
         out.push(norm.apply_one(CH_RECEIVER, p.receiver));
@@ -172,6 +178,18 @@ fn window_features(
     }
     mask.apply(&mut out);
     out
+}
+
+fn window_features(
+    pkts: &[PacketView],
+    end: usize,
+    seq_len: usize,
+    norm: &Normalizer,
+    mask: FeatureMask,
+    mask_last_delay: bool,
+) -> Vec<f32> {
+    let start = end + 1 - seq_len;
+    featurize_window(&pkts[start..=end], norm, mask, mask_last_delay)
 }
 
 /// Fit the feature normalizer over (a sample of) training windows.

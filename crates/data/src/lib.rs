@@ -29,7 +29,8 @@ mod normalize;
 mod task;
 
 pub use dataset::{
-    BatchIter, DatasetConfig, DelayDataset, MctDataset, MsgAnchor, PacketView, RunData, TraceData,
+    featurize_window, BatchIter, DatasetConfig, DelayDataset, MctDataset, MsgAnchor, PacketView,
+    RunData, TraceData,
 };
 pub use features::{FeatureMask, CH_DELAY, CH_RECEIVER, CH_SIZE, CH_TIME, NUM_FEATURES};
 pub use normalize::Normalizer;

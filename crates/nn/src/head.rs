@@ -14,10 +14,12 @@ use ntt_tensor::{Tape, Var};
 
 /// A replaceable task head over the encoder output.
 ///
-/// `Sync` is required because the data-parallel trainer shares one head
-/// across worker threads; `Module` supplies parameter plumbing
-/// (uniquely named parameters, so checkpoints can address them).
-pub trait Head: Module + Sync {
+/// `Send + Sync` is required because the data-parallel trainer shares
+/// one head across worker threads and the serving engine holds boxed
+/// heads inside `Arc`-shared, thread-pooled engines; `Module` supplies
+/// parameter plumbing (uniquely named parameters, so checkpoints can
+/// address them).
+pub trait Head: Module + Send + Sync {
     /// Stable kind descriptor, e.g. `"delay"`. Written into
     /// self-describing checkpoints and used to rebuild the head on
     /// load, so it must never change for a shipped head.

@@ -1,0 +1,448 @@
+//! Micro-batching request coalescing: many concurrent single-window
+//! requests, few large forward passes.
+//!
+//! The mTCP/event-loop lesson from the serving literature applies
+//! directly to model inference: per-request fixed costs (tape setup,
+//! weight staging, kernel launch overhead) dominate at batch size 1,
+//! and a GEMM over 16 stacked windows costs far less than 16 GEMMs over
+//! one. The [`Batcher`] owns a FIFO queue and a small worker pool; each
+//! worker drains up to `max_batch` requests **from the queue front in
+//! arrival order**, stacks them into one `[B, T, F]` forward pass, and
+//! routes each row of the result back over the submitting request's own
+//! channel.
+//!
+//! Coalescing never changes an answer: every kernel in the forward path
+//! is row-wise, so window `i`'s prediction is bit-identical whether it
+//! ran alone or inside any batch (asserted by the engine's tests and
+//! the batcher proptest). Batch *composition* depends on timing; the
+//! routing does not — a response always answers exactly the request
+//! that asked, and a ticket's `wait` blocks until that answer exists.
+
+use crate::engine::InferenceEngine;
+use ntt_data::NUM_FEATURES;
+use ntt_tensor::{kernels, Tensor};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Largest batch one forward pass coalesces.
+    pub max_batch: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Head kind every request runs through (one batcher serves one
+    /// task; run several batchers over one engine for several tasks).
+    pub head: &'static str,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 16,
+            workers: 1,
+            head: "delay",
+        }
+    }
+}
+
+struct Request {
+    window: Vec<f32>,
+    aux: Option<f32>,
+    tx: mpsc::Sender<f32>,
+}
+
+struct Queue {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+    /// Set when a worker thread panicked. A poisoned batcher rejects
+    /// new submissions and has dropped every pending request (so their
+    /// tickets resolve to an error instead of blocking forever).
+    poisoned: bool,
+}
+
+struct Shared {
+    engine: Arc<InferenceEngine>,
+    cfg: BatchConfig,
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    batches_run: AtomicU64,
+    windows_run: AtomicU64,
+    largest_batch: AtomicUsize,
+}
+
+/// Handle to one in-flight request.
+pub struct Ticket {
+    rx: mpsc::Receiver<f32>,
+}
+
+impl Ticket {
+    /// Block until the prediction for this request exists (normalized
+    /// model output). Panics if the batcher was dropped mid-request —
+    /// the batcher drains its queue on shutdown, so that indicates a
+    /// worker panic, which must not be swallowed.
+    pub fn wait(self) -> f32 {
+        self.rx
+            .recv()
+            .expect("batcher worker died before answering")
+    }
+}
+
+/// Aggregate batching statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherStats {
+    pub batches: u64,
+    pub windows: u64,
+    /// Largest coalesced batch observed.
+    pub largest_batch: usize,
+}
+
+/// Micro-batching front end over one engine + one head.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawn the worker pool. The engine must carry `cfg.head`.
+    pub fn new(engine: Arc<InferenceEngine>, cfg: BatchConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(
+            engine.head(cfg.head).is_some(),
+            "engine has no {:?} head (loaded: {:?})",
+            cfg.head,
+            engine.head_kinds()
+        );
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            queue: Mutex::new(Queue {
+                pending: VecDeque::new(),
+                shutdown: false,
+                poisoned: false,
+            }),
+            ready: Condvar::new(),
+            batches_run: AtomicU64::new(0),
+            windows_run: AtomicU64::new(0),
+            largest_batch: AtomicUsize::new(0),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Batcher { shared, workers }
+    }
+
+    /// Submit one featurized window (`seq_len * NUM_FEATURES` values,
+    /// with an aux scalar when the head needs one, e.g. the MCT head's
+    /// normalized log message size). Returns immediately; the returned
+    /// [`Ticket`] resolves to the prediction.
+    pub fn submit(&self, window: Vec<f32>, aux: Option<f32>) -> Ticket {
+        assert_eq!(
+            window.len(),
+            self.shared.engine.seq_len() * NUM_FEATURES,
+            "window has the wrong length"
+        );
+        let needs_aux = self
+            .shared
+            .engine
+            .head(self.shared.cfg.head)
+            .expect("checked at construction")
+            .needs_aux();
+        assert_eq!(
+            needs_aux,
+            aux.is_some(),
+            "{:?} head aux-input mismatch",
+            self.shared.cfg.head
+        );
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            assert!(!q.shutdown, "submit after shutdown");
+            assert!(
+                !q.poisoned,
+                "batcher is dead: a worker thread panicked (a hang would hide the bug)"
+            );
+            q.pending.push_back(Request { window, aux, tx });
+        }
+        self.shared.ready.notify_one();
+        Ticket { rx }
+    }
+
+    /// False once a worker thread has panicked: the batcher rejects
+    /// further submissions (and has already failed every pending
+    /// ticket) rather than accepting requests nobody will answer.
+    pub fn is_healthy(&self) -> bool {
+        !self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .poisoned
+    }
+
+    /// Batching statistics so far.
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            batches: self.shared.batches_run.load(Ordering::Relaxed),
+            windows: self.shared.windows_run.load(Ordering::Relaxed),
+            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Batcher {
+    /// Graceful shutdown: workers drain every pending request before
+    /// exiting, so already-issued tickets still resolve.
+    fn drop(&mut self) {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown = true;
+        self.shared.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Marks the batcher poisoned if its worker unwinds: pending requests
+/// are dropped (their tickets resolve to an error immediately) and
+/// `submit` starts rejecting, instead of the queue silently accepting
+/// requests no thread will ever answer.
+struct PoisonOnPanic<'a>(&'a Shared);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.poisoned = true;
+            q.pending.clear(); // drops each request's sender -> wait() errors
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let _poison = PoisonOnPanic(shared);
+    loop {
+        // Claim an arrival-order run from the queue front.
+        let batch: Vec<Request> = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if !q.pending.is_empty() {
+                    break;
+                }
+                if q.shutdown || q.poisoned {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+            let n = q.pending.len().min(shared.cfg.max_batch);
+            q.pending.drain(..n).collect()
+        };
+
+        let b = batch.len();
+        let seq = shared.engine.seq_len();
+        let mut x = Vec::with_capacity(b * seq * NUM_FEATURES);
+        for r in &batch {
+            x.extend_from_slice(&r.window);
+        }
+        let x = Tensor::from_vec(x, &[b, seq, NUM_FEATURES]);
+        let aux = batch[0].aux.is_some().then(|| {
+            Tensor::from_vec(
+                batch
+                    .iter()
+                    .map(|r| r.aux.expect("checked on submit"))
+                    .collect(),
+                &[b, 1],
+            )
+        });
+        // With several workers the machine is divided between batches;
+        // suppress the GEMM kernels' internal row threading so they do
+        // not oversubscribe it (same discipline as the trainer).
+        let out = if shared.cfg.workers > 1 {
+            kernels::with_sequential(|| shared.engine.predict(shared.cfg.head, &x, aux.as_ref()))
+        } else {
+            shared.engine.predict(shared.cfg.head, &x, aux.as_ref())
+        };
+
+        shared.batches_run.fetch_add(1, Ordering::Relaxed);
+        shared.windows_run.fetch_add(b as u64, Ordering::Relaxed);
+        shared.largest_batch.fetch_max(b, Ordering::Relaxed);
+        for (r, &z) in batch.iter().zip(out.data()) {
+            // A dropped ticket (caller gave up) is not an error.
+            let _ = r.tx.send(z);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::tiny_engine;
+
+    fn windows(engine: &InferenceEngine, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let row = engine.seq_len() * NUM_FEATURES;
+        let all = Tensor::randn(&[n, engine.seq_len(), NUM_FEATURES], seed);
+        (0..n)
+            .map(|i| all.data()[i * row..(i + 1) * row].to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn responses_match_serial_reference_in_arrival_order() {
+        let eng = Arc::new(tiny_engine(0.0));
+        let ws = windows(&eng, 13, 3);
+        // Serial reference: each window alone.
+        let expect: Vec<f32> = ws
+            .iter()
+            .map(|w| {
+                let x = Tensor::from_vec(w.clone(), &[1, eng.seq_len(), NUM_FEATURES]);
+                eng.predict("delay", &x, None).item()
+            })
+            .collect();
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 4,
+                workers: 2,
+                head: "delay",
+            },
+        );
+        let tickets: Vec<Ticket> = ws.iter().map(|w| batcher.submit(w.clone(), None)).collect();
+        for (t, e) in tickets.into_iter().zip(&expect) {
+            assert_eq!(t.wait().to_bits(), e.to_bits());
+        }
+        let stats = batcher.stats();
+        assert_eq!(stats.windows, 13);
+        assert!(stats.batches >= 4, "13 windows over max_batch 4");
+        assert!(stats.largest_batch <= 4);
+    }
+
+    #[test]
+    fn pending_tickets_resolve_through_shutdown() {
+        let eng = Arc::new(tiny_engine(0.0));
+        let ws = windows(&eng, 6, 4);
+        let tickets: Vec<Ticket> = {
+            let batcher = Batcher::new(Arc::clone(&eng), BatchConfig::default());
+            ws.iter().map(|w| batcher.submit(w.clone(), None)).collect()
+            // Batcher drops here; its queue must drain first.
+        };
+        for t in tickets {
+            assert!(t.wait().is_finite());
+        }
+    }
+
+    #[test]
+    fn aux_rides_along_for_mct_requests() {
+        let eng = Arc::new(tiny_engine(0.0));
+        let ws = windows(&eng, 5, 5);
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 3,
+                workers: 1,
+                head: "mct",
+            },
+        );
+        let expect: Vec<f32> = ws
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let x = Tensor::from_vec(w.clone(), &[1, eng.seq_len(), NUM_FEATURES]);
+                let aux = Tensor::from_vec(vec![i as f32 * 0.1], &[1, 1]);
+                eng.predict("mct", &x, Some(&aux)).item()
+            })
+            .collect();
+        let tickets: Vec<Ticket> = ws
+            .iter()
+            .enumerate()
+            .map(|(i, w)| batcher.submit(w.clone(), Some(i as f32 * 0.1)))
+            .collect();
+        for (t, e) in tickets.into_iter().zip(&expect) {
+            assert_eq!(t.wait().to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn panicking_worker_poisons_instead_of_hanging() {
+        use ntt_nn::{Head, Module};
+        use ntt_tensor::{Param, Var};
+
+        /// A head that panics on every forward — stands in for any
+        /// unexpected engine panic mid-batch.
+        struct BoomHead;
+        impl Module for BoomHead {
+            fn params(&self) -> Vec<Param> {
+                Vec::new()
+            }
+        }
+        impl Head for BoomHead {
+            fn kind(&self) -> &'static str {
+                "boom"
+            }
+            fn d_model(&self) -> usize {
+                16
+            }
+            fn forward_head<'t>(
+                &self,
+                _tape: &'t ntt_tensor::Tape,
+                _encoded: Var<'t>,
+                _aux: Option<Var<'t>>,
+            ) -> Var<'t> {
+                panic!("injected head failure");
+            }
+        }
+
+        let cfg = crate::test_util::tiny_cfg(0.0);
+        let eng = Arc::new(InferenceEngine::from_parts(
+            ntt_core::Ntt::new(cfg),
+            vec![Box::new(BoomHead)],
+            ntt_data::Normalizer::identity(NUM_FEATURES),
+        ));
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 4,
+                workers: 1,
+                head: "boom",
+            },
+        );
+        let row = eng.seq_len() * NUM_FEATURES;
+        let ticket = batcher.submit(vec![0.0; row], None);
+        // The in-flight ticket must resolve to an error, not hang...
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.wait())).is_err(),
+            "ticket of a panicked batch must fail, not block"
+        );
+        // ...the batcher must report itself dead (the request's sender
+        // drops during unwind slightly before the poison guard runs,
+        // so give the dying worker a moment)...
+        let t0 = std::time::Instant::now();
+        while batcher.is_healthy() && t0.elapsed().as_secs() < 5 {
+            std::thread::yield_now();
+        }
+        assert!(!batcher.is_healthy());
+        // ...and further submissions must be rejected loudly.
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batcher.submit(vec![0.0; row], None)
+        }))
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "aux-input mismatch")]
+    fn delay_requests_reject_aux() {
+        let eng = Arc::new(tiny_engine(0.0));
+        let batcher = Batcher::new(Arc::clone(&eng), BatchConfig::default());
+        let row = eng.seq_len() * NUM_FEATURES;
+        batcher.submit(vec![0.0; row], Some(1.0));
+    }
+}

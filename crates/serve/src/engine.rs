@@ -1,0 +1,220 @@
+//! The grad-free inference engine: one loaded model, shared by every
+//! session, batcher worker, and live feed that serves it.
+//!
+//! An [`InferenceEngine`] owns an [`Ntt`] trunk, its task heads, and
+//! the feature normalizer the model trained with. Weights live once,
+//! behind the model's `Arc`-shared parameters — wrapping the engine in
+//! an `Arc` and handing clones to worker threads duplicates nothing.
+//! Every forward pass runs on a pooled **inference tape**
+//! ([`Tape::inference`]): the identical kernel sequence as training
+//! (bit-identical outputs) with no backward graph recorded and no
+//! gradient slots allocated, and the tape's scratch arena recycles the
+//! same buffers request after request, so a steady-state serving loop
+//! stops allocating.
+
+use ntt_core::{Ntt, NttConfig, Pretrained};
+use ntt_data::{Normalizer, CH_DELAY, NUM_FEATURES};
+use ntt_nn::Head;
+use ntt_tensor::{TapePool, Tensor};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A loaded model ready to serve: trunk + heads + normalizer, executing
+/// grad-free. Construct once, share via `Arc`.
+pub struct InferenceEngine {
+    model: Ntt,
+    heads: Vec<Box<dyn Head>>,
+    norm: Normalizer,
+    /// Pooled inference tapes (one per concurrent forward; a tape's
+    /// scratch arena survives between requests).
+    tapes: TapePool,
+    /// Windows predicted since construction (all entry points).
+    served: AtomicU64,
+}
+
+impl InferenceEngine {
+    /// Wrap a model for serving. Dropout is forced off: serving is
+    /// deterministic evaluation, never a stochastic training pass.
+    pub fn from_parts(model: Ntt, heads: Vec<Box<dyn Head>>, norm: Normalizer) -> Self {
+        assert!(!heads.is_empty(), "an engine needs at least one head");
+        model.set_training(false);
+        InferenceEngine {
+            model,
+            heads,
+            norm,
+            tapes: TapePool::inference(),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Engine over a [`Pretrained`] pipeline result (shares the same
+    /// parameter storage; nothing is copied).
+    pub fn from_pretrained(pre: Pretrained) -> Self {
+        Self::from_parts(pre.model, pre.heads, pre.norm)
+    }
+
+    /// Load an `NTTCKPT2` checkpoint into a fresh engine: the embedded
+    /// config rebuilds the trunk, the head descriptors rebuild the
+    /// decoders, and the embedded normalizer keeps live featurization
+    /// identical to training.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::from_pretrained(Pretrained::load(path)?))
+    }
+
+    /// Model configuration (window geometry, aggregation, width).
+    pub fn cfg(&self) -> &NttConfig {
+        &self.model.cfg
+    }
+
+    /// The trunk (read-only: serving never mutates weights).
+    pub fn model(&self) -> &Ntt {
+        &self.model
+    }
+
+    /// Every loaded head, in checkpoint order.
+    pub fn heads(&self) -> &[Box<dyn Head>] {
+        &self.heads
+    }
+
+    /// Input window length in packets.
+    pub fn seq_len(&self) -> usize {
+        self.model.cfg.seq_len()
+    }
+
+    /// The feature normalizer this model trained with.
+    pub fn norm(&self) -> &Normalizer {
+        &self.norm
+    }
+
+    /// The first head of the given kind, if loaded.
+    pub fn head(&self, kind: &str) -> Option<&dyn Head> {
+        self.heads
+            .iter()
+            .find(|h| h.kind() == kind)
+            .map(|h| h.as_ref())
+    }
+
+    /// Kinds of every loaded head, in checkpoint order.
+    pub fn head_kinds(&self) -> Vec<&'static str> {
+        self.heads.iter().map(|h| h.kind()).collect()
+    }
+
+    /// Total windows predicted since construction.
+    pub fn windows_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Predict a batch of already-featurized windows through the head
+    /// of `kind`: `[B, seq_len, F]` (+ optional aux `[B, 1]`, e.g. the
+    /// MCT head's message size) `-> [B, 1]` normalized predictions.
+    ///
+    /// Per-window results are **batch-composition invariant**: every
+    /// kernel in the forward path works row-wise (GEMM rows, per-row
+    /// softmax/layer-norm, per-sample attention), so window `i` of a
+    /// batch gets bit-for-bit the prediction it would get alone — the
+    /// property that lets the [`crate::Batcher`] coalesce arbitrary
+    /// requests without changing anyone's answer.
+    pub fn predict(&self, kind: &str, windows: &Tensor, aux: Option<&Tensor>) -> Tensor {
+        let head = self.head(kind).unwrap_or_else(|| {
+            panic!(
+                "engine has no {kind:?} head (loaded: {:?})",
+                self.head_kinds()
+            )
+        });
+        let shape = windows.shape();
+        assert_eq!(shape.len(), 3, "predict expects [B, T, F] windows");
+        assert_eq!(shape[1], self.seq_len(), "window length mismatch");
+        assert_eq!(shape[2], NUM_FEATURES, "feature count mismatch");
+        assert_eq!(
+            head.needs_aux(),
+            aux.is_some(),
+            "{kind:?} head aux-input mismatch"
+        );
+        // The reset seed is constant: nothing stochastic runs in eval
+        // mode, and a fixed seed keeps serving a pure function of the
+        // inputs. Inputs are staged as arena-pooled copies, so a warm
+        // engine allocates nothing per request.
+        let out = self.tapes.with(0, |tape| {
+            let encoded = self.model.forward(tape, tape.input_copy(windows));
+            head.forward_head(tape, encoded, aux.map(|a| tape.input_copy(a)))
+                .value()
+        });
+        self.served.fetch_add(shape[0] as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Convert a normalized delay prediction back to seconds.
+    pub fn denorm_delay(&self, z: f32) -> f32 {
+        self.norm.invert_one(CH_DELAY, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::tiny_engine;
+    use ntt_tensor::{Tape, Tensor};
+
+    #[test]
+    fn predict_matches_a_recording_tape_bit_for_bit() {
+        let eng = tiny_engine(0.1);
+        let x = Tensor::randn(&[3, eng.seq_len(), NUM_FEATURES], 5);
+        let served = eng.predict("delay", &x, None);
+        // Reference: a classic recording tape with dropout off.
+        let tape = Tape::new();
+        let head = eng.head("delay").unwrap();
+        let expect = head
+            .forward_head(&tape, eng.model.forward(&tape, tape.input(x.clone())), None)
+            .value();
+        assert_eq!(served, expect);
+        assert_eq!(eng.windows_served(), 3);
+        // Repeat through the pooled (reset) tape: still identical.
+        assert_eq!(eng.predict("delay", &x, None), expect);
+    }
+
+    #[test]
+    fn per_window_results_are_batch_composition_invariant() {
+        let eng = tiny_engine(0.0);
+        let x = Tensor::randn(&[4, eng.seq_len(), NUM_FEATURES], 6);
+        let batched = eng.predict("delay", &x, None);
+        let row = eng.seq_len() * NUM_FEATURES;
+        for i in 0..4 {
+            let one = Tensor::from_vec(
+                x.data()[i * row..(i + 1) * row].to_vec(),
+                &[1, eng.seq_len(), NUM_FEATURES],
+            );
+            let alone = eng.predict("delay", &one, None);
+            assert_eq!(
+                alone.data()[0].to_bits(),
+                batched.data()[i].to_bits(),
+                "window {i} changed under batching"
+            );
+        }
+    }
+
+    #[test]
+    fn aux_heads_are_enforced() {
+        let eng = tiny_engine(0.0);
+        let x = Tensor::randn(&[2, eng.seq_len(), NUM_FEATURES], 7);
+        let aux = Tensor::randn(&[2, 1], 8);
+        let out = eng.predict("mct", &x, Some(&aux));
+        assert_eq!(out.shape(), &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aux-input mismatch")]
+    fn missing_aux_is_rejected() {
+        let eng = tiny_engine(0.0);
+        let x = Tensor::randn(&[1, eng.seq_len(), NUM_FEATURES], 9);
+        eng.predict("mct", &x, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no \"nope\" head")]
+    fn unknown_head_is_rejected() {
+        let eng = tiny_engine(0.0);
+        let x = Tensor::zeros(&[1, eng.seq_len(), NUM_FEATURES]);
+        eng.predict("nope", &x, None);
+    }
+}

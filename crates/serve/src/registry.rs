@@ -1,0 +1,109 @@
+//! Named, `Arc`-shared engines: the multi-model front door.
+//!
+//! A serving process typically holds several models at once (per
+//! environment, per task mix, per rollout stage). The registry maps
+//! names to immutable [`InferenceEngine`]s behind `Arc`s — loading a
+//! checkpoint materializes the weights exactly once, and every session
+//! or batcher that serves the model clones only the `Arc`.
+
+use crate::engine::InferenceEngine;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// Thread-safe name → engine map.
+#[derive(Default)]
+pub struct ModelRegistry {
+    engines: RwLock<HashMap<String, Arc<InferenceEngine>>>,
+}
+
+impl ModelRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load an `NTTCKPT2` checkpoint under `name`. Replaces any engine
+    /// previously registered under that name (in-flight requests on the
+    /// old engine finish on their own `Arc`).
+    pub fn load(&self, name: &str, path: impl AsRef<Path>) -> io::Result<Arc<InferenceEngine>> {
+        let engine = Arc::new(InferenceEngine::load(path)?);
+        self.engines
+            .write()
+            .unwrap()
+            .insert(name.to_string(), Arc::clone(&engine));
+        Ok(engine)
+    }
+
+    /// Register an already-built engine under `name`.
+    pub fn insert(&self, name: &str, engine: InferenceEngine) -> Arc<InferenceEngine> {
+        let engine = Arc::new(engine);
+        self.engines
+            .write()
+            .unwrap()
+            .insert(name.to_string(), Arc::clone(&engine));
+        engine
+    }
+
+    /// The engine registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<InferenceEngine>> {
+        self.engines.read().unwrap().get(name).cloned()
+    }
+
+    /// Unregister `name`, returning the engine if it was present.
+    pub fn remove(&self, name: &str) -> Option<Arc<InferenceEngine>> {
+        self.engines.write().unwrap().remove(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.engines.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.engines.read().unwrap().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::tiny_engine;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.insert("case1", tiny_engine(0.0));
+        reg.insert("case2", tiny_engine(0.0));
+        assert_eq!(reg.names(), vec!["case1", "case2"]);
+        assert!(Arc::ptr_eq(&reg.get("case1").unwrap(), &a));
+        assert!(reg.get("missing").is_none());
+        let removed = reg.remove("case1").unwrap();
+        assert!(Arc::ptr_eq(&removed, &a));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn loading_a_checkpoint_shares_one_engine() {
+        // Save a tiny pretrained model, load it through the registry,
+        // and confirm clones of the Arc are the same engine.
+        let eng = tiny_engine(0.0);
+        let path = std::env::temp_dir().join(format!("ntt_registry_{}.ckpt", std::process::id()));
+        crate::test_util::save_engine_checkpoint(&eng, &path);
+        let reg = ModelRegistry::new();
+        let loaded = reg.load("m", &path).expect("load checkpoint");
+        assert_eq!(loaded.seq_len(), eng.seq_len());
+        assert!(Arc::ptr_eq(&loaded, &reg.get("m").unwrap()));
+        assert!(reg.load("bad", "/nonexistent/file.ckpt").is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

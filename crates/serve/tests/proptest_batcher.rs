@@ -1,0 +1,141 @@
+//! Property-based tests of the micro-batching front end: for random
+//! request counts, batch limits, worker counts, and wait interleavings,
+//! every response must be bit-identical to the serial reference (each
+//! window predicted alone, in arrival order). This is the contract that
+//! makes coalescing safe to enable everywhere: batching is a throughput
+//! knob, never a numerics knob.
+
+use ntt_core::{Aggregation, DelayHead, MctHead, Ntt, NttConfig};
+use ntt_data::{Normalizer, NUM_FEATURES};
+use ntt_nn::Head;
+use ntt_serve::{BatchConfig, Batcher, InferenceEngine, Ticket};
+use ntt_tensor::{splitmix64, Tensor};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tiny_engine() -> Arc<InferenceEngine> {
+    let cfg = NttConfig {
+        aggregation: Aggregation::MultiScale { block: 1 }, // seq 64
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        seed: 17,
+        ..NttConfig::default()
+    };
+    let heads: Vec<Box<dyn Head>> = vec![
+        Box::new(DelayHead::new(cfg.d_model, 1)),
+        Box::new(MctHead::new(cfg.d_model, 2)),
+    ];
+    Arc::new(InferenceEngine::from_parts(
+        Ntt::new(cfg),
+        heads,
+        Normalizer::identity(NUM_FEATURES),
+    ))
+}
+
+/// Split `[n, T, F]` into per-request rows.
+fn rows(engine: &InferenceEngine, all: &Tensor) -> Vec<Vec<f32>> {
+    let row = engine.seq_len() * NUM_FEATURES;
+    (0..all.shape()[0])
+        .map(|i| all.data()[i * row..(i + 1) * row].to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn batcher_matches_serial_reference_under_random_interleavings(
+        n in 1usize..24,
+        max_batch in 1usize..9,
+        workers in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let engine = tiny_engine();
+        let all = Tensor::randn(&[n, engine.seq_len(), NUM_FEATURES], seed ^ 0xabcd);
+        let windows = rows(&engine, &all);
+
+        // Serial reference: every window predicted alone.
+        let expect: Vec<f32> = windows
+            .iter()
+            .map(|w| {
+                let x = Tensor::from_vec(w.clone(), &[1, engine.seq_len(), NUM_FEATURES]);
+                engine.predict("delay", &x, None).item()
+            })
+            .collect();
+
+        let batcher = Batcher::new(
+            Arc::clone(&engine),
+            BatchConfig { max_batch, workers, head: "delay" },
+        );
+
+        // Submit everything, waiting on random subsets of outstanding
+        // tickets along the way (random interleaving of producers and
+        // consumers exercises every coalescing shape from 1 to
+        // max_batch, including worker races).
+        let mut state = seed;
+        let mut outstanding: Vec<(usize, Ticket)> = Vec::new();
+        let mut got: Vec<(usize, f32)> = Vec::new();
+        for (i, w) in windows.iter().enumerate() {
+            outstanding.push((i, batcher.submit(w.clone(), None)));
+            while !outstanding.is_empty() && splitmix64(&mut state).is_multiple_of(3) {
+                let j = (splitmix64(&mut state) as usize) % outstanding.len();
+                let (idx, t) = outstanding.swap_remove(j);
+                got.push((idx, t.wait()));
+            }
+        }
+        for (idx, t) in outstanding {
+            got.push((idx, t.wait()));
+        }
+
+        prop_assert_eq!(got.len(), n);
+        for (idx, v) in got {
+            prop_assert_eq!(
+                v.to_bits(),
+                expect[idx].to_bits(),
+                "window {} diverged from the serial reference",
+                idx
+            );
+        }
+        let stats = batcher.stats();
+        prop_assert_eq!(stats.windows, n as u64);
+        prop_assert!(stats.largest_batch <= max_batch);
+        prop_assert!(stats.batches >= n.div_ceil(max_batch) as u64);
+    }
+
+    #[test]
+    fn aux_heads_batch_identically(
+        n in 1usize..12,
+        max_batch in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let engine = tiny_engine();
+        let all = Tensor::randn(&[n, engine.seq_len(), NUM_FEATURES], seed ^ 0x77);
+        let windows = rows(&engine, &all);
+        let auxes: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25 - 1.0).collect();
+
+        let expect: Vec<f32> = windows
+            .iter()
+            .zip(&auxes)
+            .map(|(w, &a)| {
+                let x = Tensor::from_vec(w.clone(), &[1, engine.seq_len(), NUM_FEATURES]);
+                let aux = Tensor::from_vec(vec![a], &[1, 1]);
+                engine.predict("mct", &x, Some(&aux)).item()
+            })
+            .collect();
+
+        let batcher = Batcher::new(
+            Arc::clone(&engine),
+            BatchConfig { max_batch, workers: 2, head: "mct" },
+        );
+        let tickets: Vec<Ticket> = windows
+            .iter()
+            .zip(&auxes)
+            .map(|(w, &a)| batcher.submit(w.clone(), Some(a)))
+            .collect();
+        for (t, e) in tickets.into_iter().zip(&expect) {
+            prop_assert_eq!(t.wait().to_bits(), e.to_bits());
+        }
+    }
+}

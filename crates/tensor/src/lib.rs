@@ -38,5 +38,5 @@ mod tape;
 mod tensor;
 
 pub use param::Param;
-pub use tape::{splitmix64, Gradients, ParamGrads, Tape, Var};
+pub use tape::{splitmix64, Gradients, ParamGrads, Tape, TapePool, Var};
 pub use tensor::Tensor;

@@ -63,6 +63,13 @@ impl Param {
         self.read().value.clone()
     }
 
+    /// Run `f` against the current value under the read lock, without
+    /// cloning it. The tape uses this to take arena-pooled copies; the
+    /// serving engine uses it for zero-copy weight reads.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.read().value)
+    }
+
     /// Shape of the value.
     pub fn shape(&self) -> Vec<usize> {
         self.read().value.shape().to_vec()

@@ -34,6 +34,21 @@
 //! layers (dropout) draw from, so a microbatch's forward pass is a pure
 //! function of its inputs and seed regardless of which thread runs it.
 //!
+//! # Inference mode
+//!
+//! A tape built with [`Tape::inference`] runs the **identical kernel
+//! sequence** as a recording tape — forward values are bit-for-bit the
+//! same — but records no backward metadata: every node degrades to a
+//! leaf, backward-only tensors (layer-norm `xhat`, dropout masks, MSE
+//! targets) are never materialized, and no gradient slot is ever
+//! allocated. [`Tape::backward`] / [`Tape::backward_params`] panic on
+//! such a tape. This is the execution mode the evaluation loops and the
+//! `ntt-serve` engine run on: training is one mode of the engine, not
+//! the engine itself. Values still live on the tape (later ops read
+//! them) and are retired into the scratch arena on [`Tape::reset`], so
+//! a serving loop that resets one inference tape per request reuses the
+//! same memory request after request.
+//!
 //! The op set is exactly what the Network Traffic Transformer needs
 //! (linear algebra, attention plumbing, sequence slicing for the
 //! multi-timescale aggregator, fused layer-norm, softmax and MSE). The
@@ -48,6 +63,7 @@ use crate::{kernels, Param, Tensor};
 use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// One SplitMix64 step: advances `state` and returns the next output.
 /// The single mixing routine shared by the tape stream, dropout masks,
@@ -219,6 +235,9 @@ pub struct Tape {
     rng: Cell<u64>,
     /// Retired-buffer pool backing every tape allocation.
     scratch: Scratch,
+    /// Whether ops record backward metadata. `false` = inference mode:
+    /// identical forward kernels, no graph, `backward*` panics.
+    grad: bool,
 }
 
 impl Default for Tape {
@@ -339,6 +358,54 @@ impl ParamGrads {
     }
 }
 
+/// Free list of reusable [`Tape`]s, all of one mode: a caller pops one,
+/// resets it to its seed (which retires the previous run's buffers into
+/// the tape's scratch arena), runs, and returns it. Across iterations
+/// the same arenas are recycled, so steady-state loops — optimizer
+/// steps in the trainer, requests in the serving engine — stop paying
+/// allocator churn. Purely a memory optimization: the reset seed fully
+/// determines the RNG stream, so results are bit-identical to fresh
+/// tapes.
+pub struct TapePool {
+    tapes: Mutex<Vec<Tape>>,
+    /// Whether pooled tapes record a backward graph.
+    grad: bool,
+}
+
+impl TapePool {
+    /// Pool of recording tapes (forward + backward).
+    pub fn training() -> Self {
+        TapePool {
+            tapes: Mutex::new(Vec::new()),
+            grad: true,
+        }
+    }
+
+    /// Pool of grad-free tapes ([`Tape::inference`]): identical forward
+    /// kernels, bit-identical values, no graph and no grad slots.
+    pub fn inference() -> Self {
+        TapePool {
+            tapes: Mutex::new(Vec::new()),
+            grad: false,
+        }
+    }
+
+    /// Run `f` on a pooled tape reset to `seed`.
+    pub fn with<R>(&self, seed: u64, f: impl FnOnce(&Tape) -> R) -> R {
+        let mut tape = self.tapes.lock().unwrap().pop().unwrap_or_else(|| {
+            if self.grad {
+                Tape::new()
+            } else {
+                Tape::inference()
+            }
+        });
+        tape.reset(seed);
+        let r = f(&tape);
+        self.tapes.lock().unwrap().push(tape);
+        r
+    }
+}
+
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 const GELU_A: f32 = 0.044_715;
 
@@ -368,7 +435,32 @@ impl Tape {
             nodes: RefCell::new(Vec::new()),
             rng: Cell::new(seed),
             scratch: Scratch::default(),
+            grad: true,
         }
+    }
+
+    /// Fresh **inference** tape: the same forward kernels (bit-identical
+    /// values), no backward graph. See the module-level "Inference mode"
+    /// section. The mode is a property of the tape, not of a call —
+    /// `reset` keeps it, so pooled inference tapes stay inference tapes.
+    pub fn inference() -> Self {
+        Self::inference_with_seed(NEXT_TAPE_SEED.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Inference tape with a reproducible RNG stream (only relevant if a
+    /// stochastic layer is deliberately left in training mode, e.g.
+    /// MC-dropout style uncertainty probes).
+    pub fn inference_with_seed(seed: u64) -> Self {
+        Tape {
+            grad: false,
+            ..Self::with_seed(seed)
+        }
+    }
+
+    /// Whether this tape records a backward graph (`false` for tapes
+    /// built with [`Tape::inference`]).
+    pub fn records_grad(&self) -> bool {
+        self.grad
     }
 
     /// Clear the recorded graph, retire every node's buffer into the
@@ -463,12 +555,28 @@ impl Tape {
     }
 
     fn push(&self, op: Op, value: Tensor) -> Var<'_> {
+        let op = if self.grad { op } else { self.strip(op) };
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { op, value });
         Var {
             tape: self,
             id: nodes.len() - 1,
         }
+    }
+
+    /// Inference-mode degradation: the node keeps its value (later ops
+    /// read it by id) but every op becomes a `Leaf`, and any tensor that
+    /// existed only for backward is retired straight into the arena.
+    /// The hot paths (`layer_norm`, `mul_const`, `mse_loss`) skip
+    /// building those tensors in the first place; this is the catch-all.
+    fn strip(&self, op: Op) -> Op {
+        match op {
+            Op::MulConst(_, saved) => self.recycle(saved),
+            Op::LayerNorm { xhat, .. } => self.recycle(xhat),
+            Op::MseLoss { target, .. } => self.recycle(target),
+            _ => {}
+        }
+        Op::Leaf
     }
 
     fn val(&self, id: usize) -> Ref<'_, Tensor> {
@@ -480,9 +588,22 @@ impl Tape {
         self.push(Op::Leaf, value)
     }
 
-    /// Record a trainable parameter.
+    /// Record a constant input from a borrow, staging an arena-pooled
+    /// copy (same bits as [`Tape::input`] of a clone, without the fresh
+    /// heap allocation once the arena is warm). The per-request entry
+    /// point for serving loops that keep ownership of their batch.
+    pub fn input_copy(&self, value: &Tensor) -> Var<'_> {
+        let staged = self.t_copy(value, value.shape());
+        self.push(Op::Leaf, staged)
+    }
+
+    /// Record a trainable parameter. The tape's node holds a pooled
+    /// *copy* of the value (one memcpy; the buffer comes back from the
+    /// arena after a reset), so concurrent forward passes never contend
+    /// on the parameter lock beyond this read.
     pub fn param(&self, p: &Param) -> Var<'_> {
-        self.push(Op::ParamLeaf(p.clone()), p.value())
+        let value = p.with_value(|t| self.t_copy(t, t.shape()));
+        self.push(Op::ParamLeaf(p.clone()), value)
     }
 
     /// Run reverse-mode differentiation from `loss` (any shape; the seed
@@ -539,6 +660,11 @@ impl Tape {
         on_param: &mut dyn FnMut(&Param, &Tensor),
         recycle: bool,
     ) -> Gradients {
+        assert!(
+            self.grad,
+            "backward on an inference tape: it recorded no graph \
+             (build the tape with Tape::new()/with_seed() to train)"
+        );
         let nodes = self.nodes.borrow();
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
         grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.shape()));
@@ -879,11 +1005,14 @@ impl<'t> Var<'t> {
 
     /// Elementwise product with a constant tensor (no gradient to it).
     pub fn mul_const(self, mask: &Tensor) -> Var<'t> {
-        let (out, saved) = {
+        let out = {
             let va = self.tape.val(self.id);
-            let out = self.tape.t_zip(&va, mask, |a, b| a * b);
-            (out, self.tape.t_copy(mask, mask.shape()))
+            self.tape.t_zip(&va, mask, |a, b| a * b)
         };
+        if !self.tape.grad {
+            return self.tape.push(Op::Leaf, out);
+        }
+        let saved = self.tape.t_copy(mask, mask.shape());
         self.tape.push(Op::MulConst(self.id, saved), out)
     }
 
@@ -1090,6 +1219,31 @@ impl<'t> Var<'t> {
     /// Fused layer normalization over the last axis with affine
     /// parameters `gamma`, `beta` (both shape `[D]`).
     pub fn layer_norm(self, gamma: Var<'t>, beta: Var<'t>, eps: f32) -> Var<'t> {
+        if !self.tape.grad {
+            // Same arithmetic per element (`xh * gamma + beta` with the
+            // identical `xh` expression), but `xhat`/`rstd` — which exist
+            // only for backward — are never materialized.
+            let out = {
+                let x = self.tape.val(self.id);
+                let d = *x.shape().last().expect("layer_norm requires rank >= 1");
+                let vg = self.tape.val(gamma.id);
+                let vb = self.tape.val(beta.id);
+                assert_eq!(vg.shape(), &[d], "gamma must be [D]");
+                assert_eq!(vb.shape(), &[d], "beta must be [D]");
+                let mut out = self.tape.alloc_overwrite(x.numel());
+                for (r, row) in x.data().chunks(d).enumerate() {
+                    let mean = row.iter().sum::<f32>() / d as f32;
+                    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                    let rs = 1.0 / (var + eps).sqrt();
+                    for j in 0..d {
+                        let xh = (row[j] - mean) * rs;
+                        out[r * d + j] = xh * vg.data()[j] + vb.data()[j];
+                    }
+                }
+                Tensor::from_vec(out, x.shape())
+            };
+            return self.tape.push(Op::Leaf, out);
+        }
         let (xhat, rstd, out, xshape) = {
             let x = self.tape.val(self.id);
             let d = *x.shape().last().expect("layer_norm requires rank >= 1");
@@ -1261,11 +1415,10 @@ impl<'t> Var<'t> {
 
     /// Mean squared error against a constant target, producing shape `[1]`.
     pub fn mse_loss(self, target: &Tensor) -> Var<'t> {
-        let (loss, saved) = {
+        let loss = {
             let p = self.tape.val(self.id);
             assert_eq!(p.shape(), target.shape(), "mse_loss shape mismatch");
-            let loss = p
-                .data()
+            p.data()
                 .iter()
                 .zip(target.data().iter())
                 .map(|(p, t)| {
@@ -1273,9 +1426,12 @@ impl<'t> Var<'t> {
                     d * d
                 })
                 .sum::<f64>()
-                / p.numel() as f64;
-            (loss, self.tape.t_copy(target, target.shape()))
+                / p.numel() as f64
         };
+        if !self.tape.grad {
+            return self.tape.push(Op::Leaf, Tensor::scalar(loss as f32));
+        }
+        let saved = self.tape.t_copy(target, target.shape());
         self.tape.push(
             Op::MseLoss {
                 pred: self.id,
@@ -1654,6 +1810,85 @@ mod tests {
         assert_ne!(xs[0], xs[1], "stream must advance");
         let c = Tape::with_seed(43);
         assert_ne!(xs[0], c.rng_next(), "seeds must decorrelate");
+    }
+
+    /// A forward pass touching every op with a no-grad specialization
+    /// (matmul, layer_norm, mul_const, scaled softmax, mse_loss).
+    fn mixed_forward(tape: &Tape, p: &Param, x: &Tensor) -> (Tensor, f32) {
+        let gamma = tape.input(Tensor::ones(&[6]));
+        let beta = tape.input(Tensor::zeros(&[6]));
+        let mask = Tensor::uniform(&[4, 6], 0.5, 1.5, 21);
+        let h = tape
+            .input(x.clone())
+            .matmul(tape.param(p))
+            .layer_norm(gamma, beta, 1e-5)
+            .mul_const(&mask)
+            .scaled_softmax_last(0.7)
+            .gelu();
+        let loss = h.mse_loss(&Tensor::zeros(&[4, 6]));
+        (h.value(), loss.value().item())
+    }
+
+    #[test]
+    fn inference_forward_is_bit_identical_to_recording_forward() {
+        let p = Param::new("w", Tensor::randn(&[6, 6], 19));
+        let x = Tensor::randn(&[4, 6], 20);
+        let train = Tape::with_seed(3);
+        let infer = Tape::inference_with_seed(3);
+        assert!(train.records_grad());
+        assert!(!infer.records_grad());
+        let (yt, lt) = mixed_forward(&train, &p, &x);
+        let (yi, li) = mixed_forward(&infer, &p, &x);
+        assert_eq!(yt, yi, "inference values must be bit-identical");
+        assert_eq!(lt.to_bits(), li.to_bits(), "loss must be bit-identical");
+        // Same node ids on both tapes: the kernel sequence is identical.
+        assert_eq!(train.len(), infer.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward on an inference tape")]
+    fn inference_tape_rejects_backward() {
+        let p = Param::new("w", Tensor::randn(&[2, 2], 1));
+        let tape = Tape::inference();
+        let loss = tape.param(&p).mse_loss(&Tensor::zeros(&[2, 2]));
+        tape.backward(loss);
+    }
+
+    #[test]
+    fn inference_reset_keeps_mode_and_reuses_arena() {
+        let p = Param::new("w", Tensor::randn(&[8, 8], 23));
+        let x = Tensor::randn(&[4, 8], 24);
+        let mut tape = Tape::inference_with_seed(0);
+        let run = |tape: &Tape| tape.input(x.clone()).matmul(tape.param(&p)).value();
+        let first = run(&tape);
+        tape.reset(0);
+        assert!(!tape.records_grad(), "reset must not change the mode");
+        assert!(
+            tape.scratch_buffers() > 0,
+            "reset must retire inference buffers into the arena"
+        );
+        assert_eq!(first, run(&tape), "reset tape must reproduce bits");
+    }
+
+    #[test]
+    fn inference_mode_skips_backward_only_allocations() {
+        // The backward-only saved tensors (mask copy, xhat, target) must
+        // not survive on an inference tape: after reset, the recording
+        // tape has strictly more retired buffers than the inference tape
+        // for the same program.
+        let p = Param::new("w", Tensor::randn(&[6, 6], 29));
+        let x = Tensor::randn(&[4, 6], 30);
+        let count = |mut tape: Tape| {
+            mixed_forward(&tape, &p, &x);
+            tape.reset(0);
+            tape.scratch_buffers()
+        };
+        let recorded = count(Tape::with_seed(1));
+        let inferred = count(Tape::inference_with_seed(1));
+        assert!(
+            inferred < recorded,
+            "inference should retire fewer buffers ({inferred} vs {recorded})"
+        );
     }
 
     #[test]

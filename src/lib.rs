@@ -16,6 +16,9 @@
 //! * [`fleet`] — parallel scenario-fleet engine: declarative sweep
 //!   grids over (scenario × topology × load × seed), a work-stealing
 //!   executor, and streaming trace ingestion
+//! * [`serve`] — batched model serving: checkpoint registry, grad-free
+//!   inference engine, streaming sessions, micro-batching request
+//!   coalescing, and a live sim → features → predictions loop
 //!
 //! ```
 //! use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
@@ -34,5 +37,6 @@ pub use ntt_core as core;
 pub use ntt_data as data;
 pub use ntt_fleet as fleet;
 pub use ntt_nn as nn;
+pub use ntt_serve as serve;
 pub use ntt_sim as sim;
 pub use ntt_tensor as tensor;

@@ -1,0 +1,144 @@
+//! Execution-mode correctness: the grad-free inference path must be a
+//! *mode* of the same engine, not a second implementation. Inference
+//! forwards are bit-identical to recording-tape forwards (dropout
+//! disabled), for every head, at every worker count — and the
+//! evaluation loops, now grad-free, reproduce exactly the values the
+//! recording-tape implementation produced.
+
+use ntt::core::{
+    evaluate, Aggregation, DelayHead, DropHead, HeadTask, MctHead, Ntt, NttConfig, ParStrategy,
+    Task,
+};
+use ntt::data::{BatchIter, DatasetConfig, DelayDataset, TraceData, NUM_FEATURES};
+use ntt::nn::Head;
+use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
+use ntt::tensor::{Tape, Tensor};
+
+fn tiny_model(dropout: f32) -> Ntt {
+    Ntt::new(NttConfig {
+        aggregation: Aggregation::MultiScale { block: 1 }, // seq 64
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        dropout,
+        seed: 23,
+        ..NttConfig::default()
+    })
+}
+
+#[test]
+fn inference_forward_is_bit_identical_for_all_heads() {
+    // Dropout present in the config but disabled (eval mode): the
+    // inference tape must reproduce the recording tape bit for bit —
+    // the acceptance gate for replacing evaluation's execution path.
+    let ntt = tiny_model(0.2);
+    ntt.set_training(false);
+    let heads: Vec<Box<dyn Head>> = vec![
+        Box::new(DelayHead::new(16, 1)),
+        Box::new(MctHead::new(16, 2)),
+        Box::new(DropHead::new(16, 3)),
+    ];
+    let x = Tensor::randn(&[3, ntt.cfg.seq_len(), NUM_FEATURES], 9);
+    let aux = Tensor::randn(&[3, 1], 10);
+    for head in &heads {
+        let run_on = |tape: &Tape| {
+            let enc = ntt.forward(tape, tape.input(x.clone()));
+            let aux = head.needs_aux().then(|| tape.input(aux.clone()));
+            head.forward_head(tape, enc, aux).value()
+        };
+        let recorded = run_on(&Tape::with_seed(4));
+        let inferred = run_on(&Tape::inference_with_seed(4));
+        assert_eq!(
+            recorded.data().len(),
+            inferred.data().len(),
+            "{}: shape diverged",
+            head.kind()
+        );
+        for (a, b) in recorded.data().iter().zip(inferred.data()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: inference forward diverged from recording forward",
+                head.kind()
+            );
+        }
+    }
+}
+
+fn tiny_dataset(seq_len: usize) -> (DelayDataset, DelayDataset) {
+    let traces = vec![run(Scenario::Pretrain, &ScenarioConfig::tiny(31))];
+    let data = TraceData::from_traces(&traces);
+    let cfg = DatasetConfig {
+        seq_len,
+        stride: 8,
+        test_fraction: 0.2,
+    };
+    DelayDataset::build(data, cfg, None)
+}
+
+#[test]
+fn grad_free_evaluate_reproduces_the_recording_tape_values() {
+    // Pre-PR, `evaluate` ran every batch on a recording tape (building
+    // the whole backward graph it never used). Recompute that reference
+    // by hand — same batch partitioning, same reduction order, recording
+    // tapes — and require the grad-free evaluate to match to the bit,
+    // sequentially and fanned out over 4 workers.
+    let ntt = tiny_model(0.1);
+    let head = DelayHead::new(16, 5);
+    let (train, test) = tiny_dataset(ntt.cfg.seq_len());
+    let ds = if test.is_empty() { train } else { test };
+    let task = HeadTask::new(&head, &ds);
+    let batch_size = 16;
+
+    ntt.set_training(false);
+    let (mut se, mut n) = (0.0f64, 0usize);
+    for batch in BatchIter::new(task.len(), batch_size, 0, false) {
+        let tape = Tape::new(); // the old evaluation path: full recording
+        let mse = task.batch_loss(&tape, &ntt, &batch);
+        se += mse.value().item() as f64 * batch.len() as f64;
+        n += batch.len();
+    }
+    let reference = se / n as f64;
+
+    for threads in [1usize, 4] {
+        let report = evaluate(&ntt, &task, batch_size, &ParStrategy::with_threads(threads));
+        assert_eq!(
+            report.mse_norm.to_bits(),
+            reference.to_bits(),
+            "grad-free evaluate diverged at {threads} workers"
+        );
+        assert_eq!(report.n, ds.len());
+    }
+}
+
+#[test]
+fn serving_engine_agrees_with_evaluate() {
+    // End-to-end cross-check between the two consumers of the grad-free
+    // path: `ntt-serve` batched prediction and the trainer's evaluate
+    // must see the same model outputs for the same windows.
+    use ntt::serve::InferenceEngine;
+    let ntt = tiny_model(0.0);
+    let head = DelayHead::new(16, 7);
+    let (train, _) = tiny_dataset(ntt.cfg.seq_len());
+    let idx: Vec<usize> = (0..train.len().min(8)).collect();
+    let (x, y) = train.batch(&idx);
+
+    // Reference squared error through a recording tape.
+    let tape = Tape::new();
+    let pred_ref = head
+        .forward_head(&tape, ntt.forward(&tape, tape.input(x.clone())), None)
+        .value();
+
+    let engine = InferenceEngine::from_parts(
+        ntt,
+        vec![Box::new(head) as Box<dyn Head>],
+        train.norm.clone(),
+    );
+    let served = engine.predict("delay", &x, None);
+    assert_eq!(served.shape(), &[idx.len(), 1]);
+    for (a, b) in served.data().iter().zip(pred_ref.data()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(y.shape(), &[idx.len(), 1]);
+}
