@@ -1,0 +1,275 @@
+//! Observability overhead: what `ntt::obs` costs on the hot path, and
+//! — the gate — that an *instrumented-but-disabled* trainer keeps the
+//! committed training throughput.
+//!
+//! Two sections:
+//!
+//! * **micro**: ns/op for the four primitive operations (counter inc
+//!   and span, each with the kill switch off and on). The disabled
+//!   forms must cost single-digit nanoseconds — one relaxed load and a
+//!   branch — which is the "zero-overhead when off" claim made by
+//!   `crates/obs`, checked here in the same process that measured it.
+//! * **macro**: paper-scale optimizer-step throughput through the real
+//!   instrumented trainer (`train.step_ns` span, `train.steps` counter,
+//!   fan-out histogram all live on this path), with `NTT_OBS` off and
+//!   on. When this host matches the one that produced the committed
+//!   `results/BENCH_kernels.json`, the disabled-path steps/s must stay
+//!   within 2% of that file's `train.steps_per_sec`; on any other host
+//!   the comparison is recorded but not enforced.
+//!
+//! Writes `results/BENCH_obs.json`.
+//!
+//! Run: `cargo bench -p ntt-bench --bench obs_overhead [-- --quick]`
+
+use ntt_bench::synth::SynthTask;
+use ntt_core::{train, Ntt, NttConfig, ParStrategy, TrainConfig, TrainMode};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var("NTT_BENCH_QUICK").is_ok()
+}
+
+/// Mean ns per call of `f` over `iters` calls.
+fn ns_per_op(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct Micro {
+    counter_off: f64,
+    counter_on: f64,
+    span_off: f64,
+    span_on: f64,
+}
+
+fn micro(iters: u64) -> Micro {
+    // Warm the per-site caches once so the loops measure steady state.
+    ntt_obs::set_enabled(true);
+    ntt_obs::counter!("obs_bench.counter").inc();
+    drop(ntt_obs::span!("obs_bench.span_ns"));
+
+    ntt_obs::set_enabled(false);
+    let counter_off = ns_per_op(iters, || {
+        black_box(ntt_obs::counter!("obs_bench.counter")).inc();
+    });
+    let span_off = ns_per_op(iters, || {
+        // Immediate drop is the point: start + record is the full cost.
+        drop(black_box(ntt_obs::span!("obs_bench.span_ns")));
+    });
+
+    ntt_obs::set_enabled(true);
+    let counter_on = ns_per_op(iters, || {
+        black_box(ntt_obs::counter!("obs_bench.counter")).inc();
+    });
+    // Spans read the clock twice; use fewer iters to keep wall time flat.
+    let span_on = ns_per_op(iters / 4, || {
+        drop(black_box(ntt_obs::span!("obs_bench.span_ns")));
+    });
+    Micro {
+        counter_off,
+        counter_on,
+        span_off,
+        span_on,
+    }
+}
+
+/// Paper-scale steps/s through the instrumented trainer, best of
+/// `reps` runs (best-of isolates the code path from scheduler noise).
+fn train_steps_per_sec(steps: usize, reps: usize) -> f64 {
+    let batch_size = 32usize;
+    let model_cfg = NttConfig {
+        aggregation: ntt_core::Aggregation::paper_multiscale(),
+        d_model: 64,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 128,
+        ..NttConfig::default()
+    };
+    let seq = model_cfg.seq_len();
+    let task = SynthTask::new(2 * batch_size, seq, model_cfg.d_model, 7);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size,
+        max_steps_per_epoch: Some(steps),
+        seed: 3,
+        par: ParStrategy::with_threads(1),
+        ..TrainConfig::default()
+    };
+    // One unmeasured warmup step (page-in, lazy allocs).
+    let warm = TrainConfig {
+        max_steps_per_epoch: Some(1),
+        ..cfg
+    };
+    train(&Ntt::new(model_cfg), &task, &warm, TrainMode::Full);
+
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let ntt = Ntt::new(model_cfg);
+        let t0 = Instant::now();
+        let report = train(&ntt, &task, &cfg, TrainMode::Full);
+        let sps = report.steps as f64 / t0.elapsed().as_secs_f64();
+        best = best.max(sps);
+    }
+    best
+}
+
+/// (cores, cpu_model, train steps/s) from the committed
+/// `results/BENCH_kernels.json`, parsed with plain string scanning so
+/// the bench needs no JSON dependency. `None` when absent or malformed.
+fn committed_baseline(root: &std::path::Path) -> Option<(usize, String, f64)> {
+    let body = std::fs::read_to_string(root.join("results/BENCH_kernels.json")).ok()?;
+    fn field<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+        let at = s.find(key)? + key.len();
+        Some(s[at..].trim_start())
+    }
+    let cores: usize = field(&body, "\"cores\":")?
+        .split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()?;
+    let cpu = field(&body, "\"cpu_model\":")?
+        .strip_prefix('"')?
+        .split('"')
+        .next()?
+        .to_string();
+    // `"steps_per_sec"` first occurs in the `"train"` section (the
+    // baseline entry is keyed `"baseline_steps_per_sec"`, which this
+    // quoted pattern cannot match inside).
+    let sps: f64 = field(&body, "\"steps_per_sec\":")?
+        .split(|c: char| c != '.' && !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()?;
+    Some((cores, cpu, sps))
+}
+
+fn current_cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let quick = quick_mode();
+    let micro_iters: u64 = if quick { 2_000_000 } else { 20_000_000 };
+    let (steps, reps) = if quick { (2usize, 2usize) } else { (4, 3) };
+
+    eprintln!(
+        "obs_overhead: micro {micro_iters} iters, macro {steps} paper-scale steps x{reps}{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    // ---- micro: primitive cost with the switch off and on -----------
+    let m = micro(micro_iters);
+    eprintln!(
+        "  counter.inc: {:.2} ns off / {:.2} ns on   span: {:.2} ns off / {:.2} ns on",
+        m.counter_off, m.counter_on, m.span_off, m.span_on
+    );
+    // The "disappears when off" contract: a relaxed load and a branch.
+    // 10 ns is ~27 cycles on this 2.7 GHz class of host — an order of
+    // magnitude above the expected cost, so the assert survives noise
+    // while still catching any accidental lock, clock read, or lookup.
+    assert!(
+        m.counter_off < 10.0,
+        "disabled counter costs {:.2} ns/op — the kill switch is no longer cheap",
+        m.counter_off
+    );
+    assert!(
+        m.span_off < 10.0,
+        "disabled span costs {:.2} ns/op — it must not read the clock",
+        m.span_off
+    );
+
+    // ---- macro: instrumented trainer, switch off vs on ---------------
+    ntt_obs::set_enabled(false);
+    let sps_off = train_steps_per_sec(steps, reps);
+    ntt_obs::set_enabled(true);
+    let sps_on = train_steps_per_sec(steps, reps);
+    let on_off_ratio = sps_on / sps_off;
+    eprintln!(
+        "  train: {sps_off:.3} steps/s disabled, {sps_on:.3} enabled ({:.2}% delta)",
+        (on_off_ratio - 1.0) * 100.0
+    );
+
+    // ---- gate vs the committed baseline (same-host only) -------------
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut gated = false;
+    let mut baseline_sps = f64::NAN;
+    match committed_baseline(&root) {
+        Some((b_cores, b_cpu, b_sps)) => {
+            baseline_sps = b_sps;
+            if b_cores == cores && b_cpu == current_cpu_model() {
+                gated = true;
+                let floor = 0.98 * b_sps;
+                assert!(
+                    sps_off >= floor,
+                    "instrumented-but-disabled training ({sps_off:.3} steps/s) fell below \
+                     98% of the committed baseline ({b_sps:.3}) — observability is \
+                     no longer free when off"
+                );
+                eprintln!("  gate: {sps_off:.3} >= 0.98 x {b_sps:.3} committed baseline ✓");
+            } else {
+                eprintln!(
+                    "  gate skipped: host ({cores} cores, {}) differs from committed \
+                     baseline host ({b_cores} cores, {b_cpu}) — recording only",
+                    current_cpu_model()
+                );
+            }
+        }
+        None => eprintln!("  gate skipped: no committed results/BENCH_kernels.json baseline"),
+    }
+
+    // ---- artifact -----------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"obs_overhead\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host\": {},",
+        ntt_bench::report::host_context_json()
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"micro_ns_per_op\": {{");
+    let _ = writeln!(json, "    \"counter_disabled\": {:.3},", m.counter_off);
+    let _ = writeln!(json, "    \"counter_enabled\": {:.3},", m.counter_on);
+    let _ = writeln!(json, "    \"span_disabled\": {:.3},", m.span_off);
+    let _ = writeln!(json, "    \"span_enabled\": {:.3}", m.span_on);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"train\": {{");
+    let _ = writeln!(json, "    \"steps\": {steps},");
+    let _ = writeln!(json, "    \"reps\": {reps},");
+    let _ = writeln!(json, "    \"steps_per_sec_disabled\": {sps_off:.4},");
+    let _ = writeln!(json, "    \"steps_per_sec_enabled\": {sps_on:.4},");
+    let _ = writeln!(json, "    \"enabled_over_disabled\": {on_off_ratio:.4},");
+    let _ = writeln!(
+        json,
+        "    \"committed_baseline_steps_per_sec\": {},",
+        if baseline_sps.is_nan() {
+            "null".into()
+        } else {
+            format!("{baseline_sps:.4}")
+        }
+    );
+    let _ = writeln!(json, "    \"gated\": {gated}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    let dir = root.join("results");
+    let path = dir.join("BENCH_obs.json");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        eprintln!("  (could not write {}: {e})", path.display());
+    } else {
+        eprintln!("  wrote {}", path.display());
+    }
+}

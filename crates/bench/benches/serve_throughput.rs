@@ -27,7 +27,7 @@ use ntt_bench::report::host_context_json;
 use ntt_core::{env_threads, Aggregation, DelayHead, Ntt, NttConfig};
 use ntt_data::{Normalizer, NUM_FEATURES};
 use ntt_nn::Head;
-use ntt_serve::{BatchConfig, Batcher, InferenceEngine};
+use ntt_serve::{BatchConfig, Batcher, BatcherMetrics, InferenceEngine};
 use ntt_tensor::Tensor;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -95,7 +95,7 @@ fn serve_concurrent(
     pool: &Tensor,
     n: usize,
     streams: usize,
-) -> (f64, usize) {
+) -> (f64, usize, BatcherMetrics) {
     let row = engine.seq_len() * NUM_FEATURES;
     let batcher = Arc::new(Batcher::new(
         Arc::clone(engine),
@@ -120,7 +120,7 @@ fn serve_concurrent(
         }
     });
     let wps = (streams * per) as f64 / t.elapsed().as_secs_f64();
-    (wps, batcher.stats().largest_batch)
+    (wps, batcher.stats().largest_batch, batcher.metrics())
 }
 
 fn main() {
@@ -214,18 +214,35 @@ fn main() {
     // between modes of one system, so both sides see the same machine
     // weather and the max filters scheduler noise out of each.
     let (mut single_wps, mut conc_wps, mut largest) = (0.0f64, 0.0f64, 0usize);
+    // Per-request latency decomposition, straight from the Batcher's own
+    // queue-wait / service-time histograms (not harness wall-clock math)
+    // — merged across the rounds so percentiles cover every request.
+    let mut lat = BatcherMetrics::default();
     for _round in 0..3 {
         single_wps = single_wps.max(serve_single(&engine_b, &pool_b, scale.serving_requests));
-        let (wps, big) = serve_concurrent(&engine_b, &pool_b, scale.serving_requests, streams);
+        let (wps, big, m) = serve_concurrent(&engine_b, &pool_b, scale.serving_requests, streams);
         conc_wps = conc_wps.max(wps);
         largest = largest.max(big);
+        lat.queue_wait_ns.merge(&m.queue_wait_ns);
+        lat.service_ns.merge(&m.service_ns);
+        lat.batch_size.merge(&m.batch_size);
     }
     let ratio = conc_wps / single_wps;
+    let us = |h: &ntt_obs::HistogramSnapshot, q: f64| h.quantile(q) / 1e3;
     eprintln!(
         "  B single-request serving : {single_wps:>8.1} windows/s (closed loop, 1 outstanding)"
     );
     eprintln!(
         "  B coalesced serving      : {conc_wps:>8.1} windows/s ({streams} streams, largest batch {largest})"
+    );
+    eprintln!(
+        "  B coalesced latency      : queue-wait p50 {:.1} µs p99 {:.1} µs, \
+         service p50 {:.1} µs p99 {:.1} µs ({} requests)",
+        us(&lat.queue_wait_ns, 0.50),
+        us(&lat.queue_wait_ns, 0.99),
+        us(&lat.service_ns, 0.50),
+        us(&lat.service_ns, 0.99),
+        lat.queue_wait_ns.count,
     );
 
     // ---- the acceptance gate ----------------------------------------
@@ -288,8 +305,22 @@ fn main() {
         json,
         "  \"serving\": {{\"requests\": {}, \"streams\": {streams}, \"largest_batch\": {largest}, \
          \"single_request_windows_per_sec\": {single_wps:.2}, \
-         \"batched_windows_per_sec\": {conc_wps:.2}, \"speedup\": {ratio:.3}}}",
+         \"batched_windows_per_sec\": {conc_wps:.2}, \"speedup\": {ratio:.3}}},",
         scale.serving_requests
+    );
+    // Sourced from the Batcher's internal `ntt_obs` histograms.
+    let _ = writeln!(
+        json,
+        "  \"serving_latency\": {{\"requests\": {}, \
+         \"queue_wait_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}}, \
+         \"service_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}}, \
+         \"mean_batch\": {:.2}}}",
+        lat.queue_wait_ns.count,
+        us(&lat.queue_wait_ns, 0.50),
+        us(&lat.queue_wait_ns, 0.99),
+        us(&lat.service_ns, 0.50),
+        us(&lat.service_ns, 0.99),
+        lat.batch_size.mean(),
     );
     json.push_str("}\n");
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

@@ -112,11 +112,58 @@ pub fn fmt_duration(secs: f64) -> String {
     }
 }
 
-/// Host context as a JSON object string: core count, `NTT_THREADS`, and
-/// the CPU model when readable. Embedded in every `BENCH_*.json` so a
-/// number in the perf trajectory is interpretable — a ≤1× thread-scaling
-/// "speedup" measured on a 1-core container reads very differently from
-/// the same number on a 16-core box.
+/// The commit SHA of the working tree, read straight from `.git`
+/// (HEAD → ref file → packed-refs) so benches need no `git` subprocess.
+/// `"unknown"` outside a repository or on any parse surprise.
+pub fn git_commit_sha() -> String {
+    fn read_sha(git_dir: &Path) -> Option<String> {
+        let head = fs::read_to_string(git_dir.join("HEAD")).ok()?;
+        let head = head.trim();
+        let Some(refname) = head.strip_prefix("ref: ") else {
+            // Detached HEAD: the file holds the SHA itself.
+            return valid_sha(head);
+        };
+        if let Ok(s) = fs::read_to_string(git_dir.join(refname)) {
+            return valid_sha(s.trim());
+        }
+        // Ref not loose — look it up in packed-refs.
+        let packed = fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+        packed.lines().find_map(|l| {
+            let (sha, name) = l.split_once(' ')?;
+            (name == refname).then(|| valid_sha(sha)).flatten()
+        })
+    }
+    fn valid_sha(s: &str) -> Option<String> {
+        (s.len() >= 40 && s.chars().all(|c| c.is_ascii_hexdigit())).then(|| s[..40].to_string())
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let dot_git = dir.join(".git");
+        if dot_git.is_dir() {
+            return read_sha(&dot_git).unwrap_or_else(|| "unknown".into());
+        }
+        if dot_git.is_file() {
+            // Worktree: `.git` is a pointer file ("gitdir: <path>").
+            let target = fs::read_to_string(&dot_git)
+                .ok()
+                .and_then(|s| s.trim().strip_prefix("gitdir: ").map(PathBuf::from));
+            return target
+                .and_then(|t| read_sha(&t))
+                .unwrap_or_else(|| "unknown".into());
+        }
+        if !dir.pop() {
+            return "unknown".into();
+        }
+    }
+}
+
+/// Host context as a JSON object string: core count, `NTT_THREADS`, the
+/// CPU model when readable, the git commit the tree is at, and whether
+/// the `NTT_OBS` kill switch left observability on. Embedded in every
+/// `BENCH_*.json` so a number in the perf trajectory is interpretable —
+/// a ≤1× thread-scaling "speedup" measured on a 1-core container reads
+/// very differently from the same number on a 16-core box, and a
+/// latency histogram gathered with metrics off would be empty.
 pub fn host_context_json() -> String {
     // Minimal JSON string escaping so arbitrary env/cpuinfo content
     // cannot corrupt the artifact.
@@ -145,9 +192,12 @@ pub fn host_context_json() -> String {
         })
         .unwrap_or_else(|| "unknown".into());
     format!(
-        "{{\"cores\": {cores}, \"ntt_threads\": \"{}\", \"cpu_model\": \"{}\"}}",
+        "{{\"cores\": {cores}, \"ntt_threads\": \"{}\", \"cpu_model\": \"{}\", \
+         \"git_commit\": \"{}\", \"ntt_obs\": \"{}\"}}",
         esc(&ntt_threads),
-        esc(&cpu_model)
+        esc(&cpu_model),
+        esc(&git_commit_sha()),
+        if ntt_obs::enabled() { "on" } else { "off" },
     )
 }
 
@@ -199,6 +249,8 @@ mod tests {
         assert!(j.contains("\"cores\": "));
         assert!(j.contains("\"ntt_threads\": "));
         assert!(j.contains("\"cpu_model\": "));
+        assert!(j.contains("\"git_commit\": "));
+        assert!(j.contains("\"ntt_obs\": "));
         // No unescaped quote may survive inside the string values: every
         // '"' in the body must be structural or backslash-escaped.
         let body = &j[1..j.len() - 1];
@@ -214,6 +266,15 @@ mod tests {
         }
         assert!(!in_str, "unbalanced quotes in {j}");
         assert_eq!(structural % 2, 0);
+    }
+
+    #[test]
+    fn git_sha_resolves_in_this_repo() {
+        let sha = git_commit_sha();
+        // The workspace is a git repository, so the tests should see a
+        // real 40-hex SHA; "unknown" is reserved for non-repo contexts.
+        assert_eq!(sha.len(), 40, "unexpected sha {sha:?}");
+        assert!(sha.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]

@@ -281,7 +281,12 @@ fn fanout_step(
             (value, tape.backward_params(loss))
         })
     };
-    let results = fanout(shards.len(), par.resolve(shards.len()), run_shard);
+    // Microbatch fan-out occupancy: how many shards this step produced
+    // and how many workers actually ran them.
+    let workers = par.resolve(shards.len());
+    ntt_obs::histogram!("train.fanout_shards").record(shards.len() as u64);
+    ntt_obs::gauge!("train.fanout_workers").set(workers as f64);
+    let results = fanout(shards.len(), workers, run_shard);
 
     // Fixed-order reduction: shard 0 + shard 1 + ... — the gradient
     // analogue of the fleet's reorder buffer.
@@ -319,6 +324,7 @@ pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> 
     // step to step, so steady-state steps allocate (almost) nothing.
     let tapes = TapePool::training();
     for epoch in 0..cfg.epochs {
+        let _epoch_span = ntt_obs::span!("train.epoch_ns");
         let mut sum = 0.0f64;
         let mut norm_sum = 0.0f64;
         let mut count = 0usize;
@@ -330,6 +336,7 @@ pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> 
         )
         .take(steps_per_epoch)
         {
+            let _step_span = ntt_obs::span!("train.step_ns");
             let step_seed = mix(cfg.seed, steps as u64);
             let (loss, mut grads) = fanout_step(ntt, task, &batch, step_seed, &cfg.par, &tapes);
             let pre_norm = clip_param_grads(&mut grads, cfg.clip);
@@ -338,6 +345,8 @@ pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> 
             norm_sum += pre_norm as f64;
             count += 1;
             steps += 1;
+            ntt_obs::counter!("train.steps").inc();
+            ntt_obs::gauge!("train.grad_norm").set(pre_norm as f64);
         }
         epoch_losses.push(sum / count.max(1) as f64);
         grad_norms.push(norm_sum / count.max(1) as f64);
@@ -375,6 +384,8 @@ pub fn evaluate(ntt: &Ntt, task: &dyn Task, batch_size: usize, par: &ParStrategy
             (mse.value().item() as f64 * idx.len() as f64, idx.len())
         })
     };
+    let _eval_span = ntt_obs::span!("train.eval_ns");
+    ntt_obs::counter!("train.eval_batches").add(batches.len() as u64);
     let results = fanout(batches.len(), par.resolve(batches.len()), run_batch);
     let (mut se, mut n) = (0.0f64, 0usize);
     for (s, c) in results {

@@ -239,6 +239,8 @@ pub fn run_fleet(spec: &SweepSpec, cfg: &FleetConfig, sink: &mut dyn ShardSink) 
                 if i >= shards.len() {
                     break;
                 }
+                // Each cursor claim is a "steal" off the shared deque.
+                ntt_obs::counter!("fleet.steals").inc();
                 // Claims are strictly increasing, so the worker holding
                 // the lowest unfinished shard always satisfies
                 // `i < emitted + window` and progress is guaranteed.
@@ -277,6 +279,9 @@ pub fn run_fleet(spec: &SweepSpec, cfg: &FleetConfig, sink: &mut dyn ShardSink) 
         for _ in 0..n {
             let (i, trace, wall) = rx.recv().expect("fleet worker panicked");
             pending.insert(i, (trace, wall));
+            // Depth observed on every arrival: how far completion order
+            // ran ahead of shard order (1 = perfectly in order).
+            ntt_obs::histogram!("fleet.reorder_depth").record(pending.len() as u64);
             while let Some((trace, wall)) = pending.remove(&next_emit) {
                 let shard = &shards[next_emit];
                 stats[next_emit] = Some(ShardStat {
@@ -290,6 +295,9 @@ pub fn run_fleet(spec: &SweepSpec, cfg: &FleetConfig, sink: &mut dyn ShardSink) 
                     drops: trace.drops,
                     wall,
                 });
+                ntt_obs::counter!("fleet.shards_run").inc();
+                ntt_obs::histogram!("fleet.shard_ns")
+                    .record(wall.as_nanos().min(u64::MAX as u128) as u64);
                 sink.on_shard(shard, trace);
                 next_emit += 1;
             }

@@ -1,0 +1,243 @@
+//! Structured event export: JSON and Prometheus-style text exposition.
+//!
+//! Both formats render a [`MetricsSnapshot`], so an export is always a
+//! consistent-by-name-order view (the snapshot is taken once; the
+//! exporter never touches live atomics). JSON nests histograms with
+//! derived quantiles *and* raw buckets, so downstream tooling can
+//! re-derive any quantile; the Prometheus form is a flat `name value`
+//! exposition with summary-style quantile labels, suitable for a
+//! `/metrics` endpoint or a textfile collector.
+
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON value position.
+fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number (`null` for non-finite values,
+/// which raw JSON cannot carry).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}") // shortest round-trip representation
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map everything else
+/// (the registry's dots in particular) to underscores.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// The full registry state as one JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"train.steps": 12},
+    ///   "gauges": {"train.grad_norm": 1.25},
+    ///   "histograms": {
+    ///     "train.step_ns": {"count": 12, "sum": 99, "mean": 8.25,
+    ///                        "p50": 7.5, "p90": 11.0, "p99": 11.0,
+    ///                        "buckets": [[4, 4, 3], [5, 5, 9]]}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Buckets are `[lo, hi, count]` triples (inclusive value bounds) in
+    /// ascending order, so any quantile is re-derivable downstream.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc_json(name));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", esc_json(name), json_f64(*v));
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                esc_json(name),
+                h.count,
+                h.sum,
+                json_f64(h.mean()),
+                json_f64(h.p50()),
+                json_f64(h.p90()),
+                json_f64(h.p99()),
+            );
+            for (j, b) in h.buckets.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}[{}, {}, {}]", b.lo, b.hi, b.count);
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Flat Prometheus-style text exposition. Counters and gauges are
+    /// plain samples; histograms export summary-style quantiles plus
+    /// `_sum`/`_count`:
+    ///
+    /// ```text
+    /// # TYPE train_steps counter
+    /// train_steps 12
+    /// # TYPE serve_queue_wait_ns summary
+    /// serve_queue_wait_ns{quantile="0.5"} 1088
+    /// serve_queue_wait_ns{quantile="0.9"} 1856
+    /// serve_queue_wait_ns{quantile="0.99"} 1856
+    /// serve_queue_wait_ns_sum 13000
+    /// serve_queue_wait_ns_count 12
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                let v = h.quantile(q);
+                if v.is_finite() {
+                    let _ = writeln!(out, "{n}{{quantile=\"{label}\"}} {v}");
+                }
+            }
+            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::histogram::{BucketCount, HistogramSnapshot};
+    use crate::registry::MetricsSnapshot;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("a.count".into(), 7)],
+            gauges: vec![("b.gauge".into(), 1.5), ("c.nan".into(), f64::NAN)],
+            histograms: vec![(
+                "d.hist_ns".into(),
+                HistogramSnapshot {
+                    count: 2,
+                    sum: 30,
+                    buckets: vec![
+                        BucketCount {
+                            lo: 8,
+                            hi: 9,
+                            count: 1,
+                        },
+                        BucketCount {
+                            lo: 20,
+                            hi: 23,
+                            count: 1,
+                        },
+                    ],
+                },
+            )],
+        }
+    }
+
+    /// Minimal structural JSON validation: balanced delimiters outside
+    /// strings, no raw control characters.
+    fn assert_balanced_json(s: &str) {
+        let (mut depth, mut in_str, mut prev) = (0i32, false, ' ');
+        for c in s.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    _ => {}
+                }
+                assert!(depth >= 0, "unbalanced close in {s}");
+            }
+            prev = if prev == '\\' && c == '\\' { ' ' } else { c };
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+        assert!(!in_str, "unterminated string: {s}");
+    }
+
+    #[test]
+    fn json_is_balanced_and_complete() {
+        let j = sample().to_json();
+        assert_balanced_json(&j);
+        assert!(j.contains("\"a.count\": 7"));
+        assert!(j.contains("\"b.gauge\": 1.5"));
+        assert!(j.contains("\"c.nan\": null"), "NaN must export as null");
+        assert!(j.contains("[8, 9, 1]"));
+        assert!(j.contains("\"count\": 2"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid_json() {
+        assert_balanced_json(&MetricsSnapshot::default().to_json());
+    }
+
+    #[test]
+    fn prometheus_flattens_names_and_quantiles() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE a_count counter\na_count 7\n"));
+        assert!(p.contains("# TYPE b_gauge gauge\nb_gauge 1.5\n"));
+        assert!(p.contains("d_hist_ns{quantile=\"0.5\"} 8.5"));
+        assert!(p.contains("d_hist_ns_sum 30"));
+        assert!(p.contains("d_hist_ns_count 2"));
+        // NaN gauge still exports (Prometheus text allows NaN).
+        assert!(p.contains("c_nan NaN"));
+    }
+}

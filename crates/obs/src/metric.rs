@@ -1,0 +1,96 @@
+//! Scalar metrics: monotonic counters and last-write-wins gauges.
+//!
+//! Both are a single `AtomicU64`; the hot-path methods compile to one
+//! relaxed branch on the kill switch plus (when enabled) one relaxed
+//! atomic op. Gauges store `f64` bit patterns so a snapshot read
+//! returns exactly the value the last writer set — important for the
+//! workspace's bit-stability discipline (e.g. the trainer's grad-norm
+//! gauge must read identically at any thread count).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counter.
+#[derive(Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one. No-op while observability is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. No-op while observability is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins scalar (bit-exact `f64` storage).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0), // 0u64 == 0.0f64
+        }
+    }
+
+    /// Set the gauge. No-op while observability is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (exactly the bits the last writer stored).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        crate::set_enabled(true);
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_is_bit_exact() {
+        crate::set_enabled(true);
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        let v = 0.1f64 + 0.2f64; // a value with a non-trivial mantissa
+        g.set(v);
+        assert_eq!(g.get().to_bits(), v.to_bits());
+    }
+}

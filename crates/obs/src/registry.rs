@@ -1,0 +1,175 @@
+//! The process-global metrics registry.
+//!
+//! Registration (name → metric handle) is the cold path: a `RwLock`
+//! around a `BTreeMap`, taken once per call site thanks to the caching
+//! macros ([`crate::counter!`], [`crate::gauge!`], [`crate::span!`]).
+//! The handles themselves are `Arc`s whose hot-path operations are pure
+//! atomics — after the first lookup a call site never touches the lock
+//! again. Names are `dot.separated` by convention; a [`snapshot`]
+//! iterates the map in name order, so two snapshots of identical
+//! metric states are byte-identical.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metric::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn get_or_register<T>(
+    name: &str,
+    wrap: impl FnOnce(Arc<T>) -> Metric,
+    unwrap: impl Fn(&Metric) -> Option<Arc<T>>,
+) -> Arc<T>
+where
+    T: Default,
+{
+    let reg = registry();
+    if let Some(m) = reg.metrics.read().unwrap().get(name) {
+        return unwrap(m)
+            .unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", m.kind()));
+    }
+    let mut w = reg.metrics.write().unwrap();
+    // Double-checked: another thread may have registered it between the
+    // read unlock and the write lock.
+    if let Some(m) = w.get(name) {
+        return unwrap(m)
+            .unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", m.kind()));
+    }
+    let handle = Arc::new(T::default());
+    w.insert(name.to_string(), wrap(Arc::clone(&handle)));
+    handle
+}
+
+/// Get-or-create the global counter `name`. Panics if `name` is already
+/// registered as a different metric type.
+pub fn counter(name: &str) -> Arc<Counter> {
+    get_or_register(name, Metric::Counter, |m| match m {
+        Metric::Counter(c) => Some(Arc::clone(c)),
+        _ => None,
+    })
+}
+
+/// Get-or-create the global gauge `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    get_or_register(name, Metric::Gauge, |m| match m {
+        Metric::Gauge(g) => Some(Arc::clone(g)),
+        _ => None,
+    })
+}
+
+/// Get-or-create the global histogram `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    get_or_register(name, Metric::Histogram, |m| match m {
+        Metric::Histogram(h) => Some(Arc::clone(h)),
+        _ => None,
+    })
+}
+
+/// One immutable view of every registered metric, in name order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Snapshot the whole global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for (name, metric) in registry().metrics.read().unwrap().iter() {
+        match metric {
+            Metric::Counter(c) => out.counters.push((name.clone(), c.get())),
+            Metric::Gauge(g) => out.gauges.push((name.clone(), g.get())),
+            Metric::Histogram(h) => out.histograms.push((name.clone(), h.snapshot())),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Snapshot of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        crate::set_enabled(true);
+        let a = counter("registry.test.counter");
+        let b = counter("registry.test.counter");
+        assert!(Arc::ptr_eq(&a, &b), "same name must be one counter");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        gauge("registry.test.gauge").set(1.5);
+        histogram("registry.test.hist").record(7);
+        let s = snapshot();
+        assert_eq!(s.counter("registry.test.counter"), Some(3));
+        assert_eq!(s.gauge("registry.test.gauge"), Some(1.5));
+        assert!(s.histogram("registry.test.hist").unwrap().count >= 1);
+        assert_eq!(s.counter("registry.test.nope"), None);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        counter("registry.order.b");
+        counter("registry.order.a");
+        let s = snapshot();
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot must iterate in name order");
+    }
+
+    #[test]
+    fn type_collisions_panic() {
+        counter("registry.test.collision");
+        let r = std::panic::catch_unwind(|| gauge("registry.test.collision"));
+        assert!(r.is_err(), "re-registering as a different type must panic");
+    }
+}

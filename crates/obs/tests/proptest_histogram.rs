@@ -1,0 +1,96 @@
+//! Property-based histogram correctness: bucketing must be a monotone
+//! partition of `u64`, shard merging must be exact, and snapshot
+//! quantiles must track a sorted-vec reference within the documented
+//! ±12.5% relative bucket-width bound.
+
+use ntt_obs::{bounds_of, bucket_of, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+/// Exact order statistic with the same rank convention the snapshot
+/// uses (`rank = ⌈q·n⌉`, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Map a raw random word to a log-uniform magnitude (many octaves, the
+/// way latencies distribute).
+fn log_uniform(raw: u64) -> u64 {
+    let shift = (raw >> 58) % 40;
+    (1u64 << shift).saturating_add(raw & 1023)
+}
+
+proptest! {
+    #[test]
+    fn bucket_of_lands_inside_its_bounds(v in any::<u64>()) {
+        let idx = bucket_of(v);
+        prop_assert!(idx < BUCKETS);
+        let (lo, hi) = bounds_of(idx);
+        prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}] of bucket {}", v, lo, hi, idx);
+    }
+
+    #[test]
+    fn bucketing_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (a.min(b), a.max(b));
+        prop_assert!(bucket_of(a) <= bucket_of(b));
+    }
+
+    #[test]
+    fn quantiles_track_sorted_vec_reference(
+        raws in proptest::collection::vec(any::<u64>(), 1..400),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        ntt_obs::set_enabled(true);
+        let values: Vec<u64> = raws.iter().map(|&r| log_uniform(r)).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [qa, qb, 0.5, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q) as f64;
+            let est = snap.quantile(q);
+            // The exact order statistic lies in the bucket the estimate
+            // is the midpoint of; bucket half-width is ≤12.5% of the
+            // value (+0.5 for integer-bound rounding).
+            prop_assert!(
+                (est - exact).abs() <= exact * 0.125 + 0.5,
+                "q={}: estimate {} vs exact {}", q, est, exact
+            );
+        }
+    }
+
+    #[test]
+    fn multithreaded_recording_merges_exactly(
+        values in proptest::collection::vec(0u64..1_000_000, 8..200),
+        threads in 2usize..5,
+    ) {
+        ntt_obs::set_enabled(true);
+        // Reference: the same multiset recorded single-threaded.
+        let reference = Histogram::new();
+        for &v in &values {
+            reference.record(v);
+        }
+        // Shard the values over real threads (each gets its own stripe).
+        let shards = Histogram::new();
+        std::thread::scope(|s| {
+            for chunk in values.chunks(values.len().div_ceil(threads)) {
+                let shards = &shards;
+                s.spawn(move || {
+                    for &v in chunk {
+                        shards.record(v);
+                    }
+                });
+            }
+        });
+        // Bucket counts are u64 sums — order-independent, so the merged
+        // snapshot must equal the single-threaded one exactly.
+        prop_assert_eq!(shards.snapshot(), reference.snapshot());
+    }
+}

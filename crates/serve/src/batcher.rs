@@ -20,11 +20,13 @@
 
 use crate::engine::InferenceEngine;
 use ntt_data::NUM_FEATURES;
+use ntt_obs::{Histogram, HistogramSnapshot};
 use ntt_tensor::{kernels, Tensor};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Batching knobs.
 #[derive(Debug, Clone)]
@@ -52,6 +54,9 @@ struct Request {
     window: Vec<f32>,
     aux: Option<f32>,
     tx: mpsc::Sender<f32>,
+    /// Submission time for the queue-wait histogram; `None` while the
+    /// observability kill switch is off (no clock read on submit).
+    enqueued: Option<Instant>,
 }
 
 struct Queue {
@@ -71,6 +76,35 @@ struct Shared {
     batches_run: AtomicU64,
     windows_run: AtomicU64,
     largest_batch: AtomicUsize,
+    /// Per-batcher latency accounting (also double-recorded into the
+    /// global registry as `serve.queue_wait_ns` / `serve.service_ns` /
+    /// `serve.batch_size`).
+    queue_wait: Histogram,
+    service: Histogram,
+    batch_size: Histogram,
+    /// Final stats + metrics captured by the poison path. Once a worker
+    /// panics the live counters stop moving, and this freeze guarantees
+    /// `stats()`/`metrics()` keep exposing the last pre-panic view for
+    /// post-mortems instead of whatever a half-dead pool reports.
+    frozen: Mutex<Option<(BatcherStats, BatcherMetrics)>>,
+}
+
+impl Shared {
+    fn live_stats(&self) -> BatcherStats {
+        BatcherStats {
+            batches: self.batches_run.load(Ordering::Relaxed),
+            windows: self.windows_run.load(Ordering::Relaxed),
+            largest_batch: self.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    fn live_metrics(&self) -> BatcherMetrics {
+        BatcherMetrics {
+            queue_wait_ns: self.queue_wait.snapshot(),
+            service_ns: self.service.snapshot(),
+            batch_size: self.batch_size.snapshot(),
+        }
+    }
 }
 
 /// Handle to one in-flight request.
@@ -97,6 +131,20 @@ pub struct BatcherStats {
     pub windows: u64,
     /// Largest coalesced batch observed.
     pub largest_batch: usize,
+}
+
+/// Latency and batch-shape distributions for one batcher, as histogram
+/// snapshots (p50/p90/p99 via [`HistogramSnapshot::quantile`]). Empty
+/// while the `NTT_OBS` kill switch is off.
+#[derive(Debug, Clone, Default)]
+pub struct BatcherMetrics {
+    /// Nanoseconds from `submit` to a worker claiming the request.
+    pub queue_wait_ns: HistogramSnapshot,
+    /// Nanoseconds a worker spent stacking, predicting, and routing one
+    /// batch.
+    pub service_ns: HistogramSnapshot,
+    /// Coalesced batch sizes (windows per forward pass).
+    pub batch_size: HistogramSnapshot,
 }
 
 /// Micro-batching front end over one engine + one head.
@@ -128,6 +176,10 @@ impl Batcher {
             batches_run: AtomicU64::new(0),
             windows_run: AtomicU64::new(0),
             largest_batch: AtomicUsize::new(0),
+            queue_wait: Histogram::new(),
+            service: Histogram::new(),
+            batch_size: Histogram::new(),
+            frozen: Mutex::new(None),
         });
         let workers = (0..shared.cfg.workers)
             .map(|_| {
@@ -161,6 +213,7 @@ impl Batcher {
             self.shared.cfg.head
         );
         let (tx, rx) = mpsc::channel();
+        let enqueued = ntt_obs::enabled().then(Instant::now);
         {
             let mut q = self.shared.queue.lock().unwrap();
             assert!(!q.shutdown, "submit after shutdown");
@@ -168,7 +221,12 @@ impl Batcher {
                 !q.poisoned,
                 "batcher is dead: a worker thread panicked (a hang would hide the bug)"
             );
-            q.pending.push_back(Request { window, aux, tx });
+            q.pending.push_back(Request {
+                window,
+                aux,
+                tx,
+                enqueued,
+            });
         }
         self.shared.ready.notify_one();
         Ticket { rx }
@@ -186,12 +244,26 @@ impl Batcher {
             .poisoned
     }
 
-    /// Batching statistics so far.
+    /// Batching statistics so far. After a worker panic this returns
+    /// the frozen pre-panic view, so the numbers a post-mortem reads
+    /// are the final ones.
     pub fn stats(&self) -> BatcherStats {
-        BatcherStats {
-            batches: self.shared.batches_run.load(Ordering::Relaxed),
-            windows: self.shared.windows_run.load(Ordering::Relaxed),
-            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
+        let frozen = self.shared.frozen.lock().unwrap_or_else(|e| e.into_inner());
+        match &*frozen {
+            Some((stats, _)) => *stats,
+            None => self.shared.live_stats(),
+        }
+    }
+
+    /// Queue-wait, service-time, and batch-size distributions for this
+    /// batcher (its own histograms, not the process-global ones —
+    /// several batchers never mix). Frozen at the last pre-panic view
+    /// once a worker has panicked.
+    pub fn metrics(&self) -> BatcherMetrics {
+        let frozen = self.shared.frozen.lock().unwrap_or_else(|e| e.into_inner());
+        match &*frozen {
+            Some((_, metrics)) => metrics.clone(),
+            None => self.shared.live_metrics(),
         }
     }
 }
@@ -221,6 +293,14 @@ struct PoisonOnPanic<'a>(&'a Shared);
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
+            // Freeze the final stats and metrics first: once the pool
+            // is poisoned the live view stops being meaningful, and a
+            // post-mortem needs the numbers as they stood at the crash.
+            {
+                let snapshot = (self.0.live_stats(), self.0.live_metrics());
+                let mut frozen = self.0.frozen.lock().unwrap_or_else(|e| e.into_inner());
+                frozen.get_or_insert(snapshot);
+            }
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             q.poisoned = true;
             q.pending.clear(); // drops each request's sender -> wait() errors
@@ -247,6 +327,19 @@ fn worker_loop(shared: &Shared) {
             let n = q.pending.len().min(shared.cfg.max_batch);
             q.pending.drain(..n).collect()
         };
+
+        // Queue wait: submit -> claim, one clock read for the batch.
+        if ntt_obs::enabled() {
+            let now = Instant::now();
+            for r in &batch {
+                if let Some(t0) = r.enqueued {
+                    let ns = now.duration_since(t0).as_nanos().min(u64::MAX as u128) as u64;
+                    shared.queue_wait.record_always(ns);
+                    ntt_obs::histogram!("serve.queue_wait_ns").record_always(ns);
+                }
+            }
+        }
+        let service_t0 = ntt_obs::enabled().then(Instant::now);
 
         let b = batch.len();
         let seq = shared.engine.seq_len();
@@ -276,6 +369,16 @@ fn worker_loop(shared: &Shared) {
         shared.batches_run.fetch_add(1, Ordering::Relaxed);
         shared.windows_run.fetch_add(b as u64, Ordering::Relaxed);
         shared.largest_batch.fetch_max(b, Ordering::Relaxed);
+        shared.batch_size.record(b as u64);
+        ntt_obs::histogram!("serve.batch_size").record(b as u64);
+        // Service time = stack + forward pass, recorded *before* the
+        // responses go out so a caller who has seen every ticket
+        // resolve also sees every service sample.
+        if let Some(t0) = service_t0 {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            shared.service.record_always(ns);
+            ntt_obs::histogram!("serve.service_ns").record_always(ns);
+        }
         for (r, &z) in batch.iter().zip(out.data()) {
             // A dropped ticket (caller gave up) is not an error.
             let _ = r.tx.send(z);
@@ -435,6 +538,119 @@ mod tests {
             batcher.submit(vec![0.0; row], None)
         }))
         .is_err());
+    }
+
+    #[test]
+    fn queue_and_service_histograms_track_requests() {
+        ntt_obs::set_enabled(true);
+        let eng = Arc::new(tiny_engine(0.0));
+        let ws = windows(&eng, 9, 6);
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 4,
+                workers: 1,
+                head: "delay",
+            },
+        );
+        let tickets: Vec<Ticket> = ws.iter().map(|w| batcher.submit(w.clone(), None)).collect();
+        for t in tickets {
+            t.wait();
+        }
+        let m = batcher.metrics();
+        // Every request waited in the queue once; every batch was
+        // serviced and sized once.
+        assert_eq!(m.queue_wait_ns.count, 9);
+        assert_eq!(m.service_ns.count, batcher.stats().batches);
+        assert_eq!(m.batch_size.count, batcher.stats().batches);
+        assert_eq!(m.batch_size.sum, 9, "batch sizes must sum to the windows");
+        assert!(
+            m.service_ns.quantile(1.0) > 0.0,
+            "a forward pass takes time"
+        );
+    }
+
+    #[test]
+    fn poison_freezes_final_stats_and_metrics() {
+        use ntt_core::DelayHead;
+        use ntt_nn::{Head, Module};
+        use ntt_tensor::{Param, Var};
+        use std::sync::atomic::AtomicUsize;
+
+        /// Delegates to a real delay head for the first `ok` batches,
+        /// then panics — a mid-service failure after useful work.
+        struct FlakyHead {
+            inner: DelayHead,
+            calls: AtomicUsize,
+            ok: usize,
+        }
+        impl Module for FlakyHead {
+            fn params(&self) -> Vec<Param> {
+                self.inner.params()
+            }
+        }
+        impl Head for FlakyHead {
+            fn kind(&self) -> &'static str {
+                "flaky"
+            }
+            fn d_model(&self) -> usize {
+                self.inner.d_model()
+            }
+            fn forward_head<'t>(
+                &self,
+                tape: &'t ntt_tensor::Tape,
+                encoded: Var<'t>,
+                aux: Option<Var<'t>>,
+            ) -> Var<'t> {
+                if self.calls.fetch_add(1, Ordering::SeqCst) >= self.ok {
+                    panic!("injected head failure");
+                }
+                self.inner.forward_head(tape, encoded, aux)
+            }
+        }
+
+        ntt_obs::set_enabled(true);
+        let cfg = crate::test_util::tiny_cfg(0.0);
+        let head = FlakyHead {
+            inner: DelayHead::new(cfg.d_model, 1),
+            calls: AtomicUsize::new(0),
+            ok: 1,
+        };
+        let eng = Arc::new(InferenceEngine::from_parts(
+            ntt_core::Ntt::new(cfg),
+            vec![Box::new(head)],
+            ntt_data::Normalizer::identity(NUM_FEATURES),
+        ));
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 1,
+                workers: 1,
+                head: "flaky",
+            },
+        );
+        let row = eng.seq_len() * NUM_FEATURES;
+        // First request succeeds and is counted.
+        assert!(batcher.submit(vec![0.0; row], None).wait().is_finite());
+        // Second request kills the worker.
+        let doomed = batcher.submit(vec![0.1; row], None);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| doomed.wait())).is_err());
+        let t0 = std::time::Instant::now();
+        while batcher.is_healthy() && t0.elapsed().as_secs() < 5 {
+            std::thread::yield_now();
+        }
+        assert!(!batcher.is_healthy());
+        // The pre-panic numbers survive the poison: one successful
+        // batch of one window, with its latency samples intact.
+        let stats = batcher.stats();
+        assert_eq!(stats.batches, 1, "final stats must be frozen, not reset");
+        assert_eq!(stats.windows, 1);
+        let m = batcher.metrics();
+        assert_eq!(m.batch_size.count, 1);
+        assert_eq!(m.batch_size.sum, 1);
+        assert_eq!(m.service_ns.count, 1);
+        // Both waiting requests were claimed before the crash point.
+        assert_eq!(m.queue_wait_ns.count, 2);
     }
 
     #[test]

@@ -15,10 +15,10 @@
 use ntt_core::{Ntt, NttConfig, Pretrained};
 use ntt_data::{Normalizer, CH_DELAY, NUM_FEATURES};
 use ntt_nn::Head;
+use ntt_obs::Counter;
 use ntt_tensor::{TapePool, Tensor};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A loaded model ready to serve: trunk + heads + normalizer, executing
 /// grad-free. Construct once, share via `Arc`.
@@ -29,8 +29,9 @@ pub struct InferenceEngine {
     /// Pooled inference tapes (one per concurrent forward; a tape's
     /// scratch arena survives between requests).
     tapes: TapePool,
-    /// Windows predicted since construction (all entry points).
-    served: AtomicU64,
+    /// Windows predicted since construction (all entry points). An
+    /// `ntt_obs` counter: frozen at its last value while `NTT_OBS=off`.
+    served: Counter,
 }
 
 impl InferenceEngine {
@@ -44,7 +45,7 @@ impl InferenceEngine {
             heads,
             norm,
             tapes: TapePool::inference(),
-            served: AtomicU64::new(0),
+            served: Counter::new(),
         }
     }
 
@@ -100,9 +101,12 @@ impl InferenceEngine {
         self.heads.iter().map(|h| h.kind()).collect()
     }
 
-    /// Total windows predicted since construction.
+    /// Total windows predicted since construction. Counts only while
+    /// observability is enabled (the `NTT_OBS` kill switch freezes it);
+    /// the process-wide total across every engine is the registry's
+    /// `serve.windows_served` counter.
     pub fn windows_served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.served.get()
     }
 
     /// Predict a batch of already-featurized windows through the head
@@ -135,12 +139,14 @@ impl InferenceEngine {
         // mode, and a fixed seed keeps serving a pure function of the
         // inputs. Inputs are staged as arena-pooled copies, so a warm
         // engine allocates nothing per request.
+        let _span = ntt_obs::span!("serve.predict_ns");
         let out = self.tapes.with(0, |tape| {
             let encoded = self.model.forward(tape, tape.input_copy(windows));
             head.forward_head(tape, encoded, aux.map(|a| tape.input_copy(a)))
                 .value()
         });
-        self.served.fetch_add(shape[0] as u64, Ordering::Relaxed);
+        self.served.add(shape[0] as u64);
+        ntt_obs::counter!("serve.windows_served").add(shape[0] as u64);
         out
     }
 

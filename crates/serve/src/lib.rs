@@ -66,7 +66,7 @@ pub mod live;
 mod registry;
 mod session;
 
-pub use batcher::{BatchConfig, Batcher, BatcherStats, Ticket};
+pub use batcher::{BatchConfig, Batcher, BatcherMetrics, BatcherStats, Ticket};
 pub use engine::InferenceEngine;
 pub use live::{LiveOptions, LiveReport};
 pub use registry::ModelRegistry;

@@ -23,25 +23,30 @@ impl ModelRegistry {
         Self::default()
     }
 
+    /// Mirror the current model count onto the `serve.registry.models`
+    /// gauge (called under the write lock, so the gauge tracks every
+    /// mutation in order).
+    fn track_count(&self, n: usize) {
+        ntt_obs::gauge!("serve.registry.models").set(n as f64);
+    }
+
     /// Load an `NTTCKPT2` checkpoint under `name`. Replaces any engine
     /// previously registered under that name (in-flight requests on the
     /// old engine finish on their own `Arc`).
     pub fn load(&self, name: &str, path: impl AsRef<Path>) -> io::Result<Arc<InferenceEngine>> {
         let engine = Arc::new(InferenceEngine::load(path)?);
-        self.engines
-            .write()
-            .unwrap()
-            .insert(name.to_string(), Arc::clone(&engine));
+        let mut map = self.engines.write().unwrap();
+        map.insert(name.to_string(), Arc::clone(&engine));
+        self.track_count(map.len());
         Ok(engine)
     }
 
     /// Register an already-built engine under `name`.
     pub fn insert(&self, name: &str, engine: InferenceEngine) -> Arc<InferenceEngine> {
         let engine = Arc::new(engine);
-        self.engines
-            .write()
-            .unwrap()
-            .insert(name.to_string(), Arc::clone(&engine));
+        let mut map = self.engines.write().unwrap();
+        map.insert(name.to_string(), Arc::clone(&engine));
+        self.track_count(map.len());
         engine
     }
 
@@ -52,7 +57,10 @@ impl ModelRegistry {
 
     /// Unregister `name`, returning the engine if it was present.
     pub fn remove(&self, name: &str) -> Option<Arc<InferenceEngine>> {
-        self.engines.write().unwrap().remove(name)
+        let mut map = self.engines.write().unwrap();
+        let removed = map.remove(name);
+        self.track_count(map.len());
+        removed
     }
 
     /// Registered names, sorted.

@@ -98,10 +98,22 @@ impl InferenceSession {
         }
         self.window.push_back(pkt);
         self.pushed += 1;
+        ntt_obs::counter!("serve.session.packets").inc();
         if self.window.len() < self.seq_len {
+            // Warming up: lag = packets still missing before the first
+            // prediction can happen.
+            ntt_obs::gauge!("serve.session.window_lag")
+                .set((self.seq_len - self.window.len()) as f64);
             return None;
         }
         self.since_pred += 1;
+        // Window lag: packets observed since the stream's last
+        // prediction — how stale the newest answer is right now.
+        ntt_obs::gauge!("serve.session.window_lag").set(if self.since_pred < self.cfg.stride {
+            self.since_pred as f64
+        } else {
+            0.0
+        });
         if self.since_pred < self.cfg.stride {
             return None;
         }
@@ -119,6 +131,7 @@ impl InferenceSession {
         let x = Tensor::from_vec(feats, &[1, self.seq_len, NUM_FEATURES]);
         let z = self.engine.predict("delay", &x, None).item();
         self.predicted += 1;
+        ntt_obs::counter!("serve.session.predictions").inc();
         DelayPrediction {
             t_secs: last.t,
             predicted_norm: z,

@@ -322,6 +322,8 @@ fn gemm_core(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // One counter at the funnel covers every public gemm entry point.
+    ntt_obs::counter!("tensor.gemm_calls").inc();
     debug_assert!(a.len() > (m - 1) * ars + (k - 1) * acs, "A too short");
     debug_assert!(b.len() > (k - 1) * brs + (n - 1) * bcs, "B too short");
     debug_assert!(c.len() >= (m - 1) * ldc + n, "C too short");

@@ -392,7 +392,12 @@ impl TapePool {
 
     /// Run `f` on a pooled tape reset to `seed`.
     pub fn with<R>(&self, seed: u64, f: impl FnOnce(&Tape) -> R) -> R {
+        ntt_obs::counter!("tensor.tape_pool.acquires").inc();
         let mut tape = self.tapes.lock().unwrap().pop().unwrap_or_else(|| {
+            // A miss means a fresh tape (and fresh arenas): the ratio of
+            // misses to acquires shows how quickly a loop reaches its
+            // allocation-free steady state.
+            ntt_obs::counter!("tensor.tape_pool.misses").inc();
             if self.grad {
                 Tape::new()
             } else {

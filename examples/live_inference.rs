@@ -96,5 +96,35 @@ fn main() {
         if vs >= 1.0 { "lower" } else { "higher" }
     );
     println!("engine served {} windows total", engine.windows_served());
+
+    // ---- Final metrics snapshot: what this process did, from the ----
+    // ---- global registry (see `ntt::obs` / examples/serve_metrics) ----
+    let snap = ntt::obs::snapshot();
+    let ms = |h: Option<&ntt::obs::HistogramSnapshot>, q: f64| {
+        h.map_or(f64::NAN, |h| h.quantile(q) / 1e6)
+    };
+    let predict = snap.histogram("serve.predict_ns");
+    let step = snap.histogram("train.step_ns");
+    println!("\n=== final metrics snapshot ===");
+    println!(
+        "train:  {} steps, step p50 {:.1} ms p99 {:.1} ms, last grad norm {:.3}",
+        snap.counter("train.steps").unwrap_or(0),
+        ms(step, 0.5),
+        ms(step, 0.99),
+        snap.gauge("train.grad_norm").unwrap_or(f64::NAN),
+    );
+    println!(
+        "serve:  {} windows, predict p50 {:.2} ms p99 {:.2} ms, {} session packets",
+        snap.counter("serve.windows_served").unwrap_or(0),
+        ms(predict, 0.5),
+        ms(predict, 0.99),
+        snap.counter("serve.session.packets").unwrap_or(0),
+    );
+    println!(
+        "fleet:  {} shards, shard p50 {:.1} ms; tensor: {} gemm calls",
+        snap.counter("fleet.shards_run").unwrap_or(0),
+        ms(snap.histogram("fleet.shard_ns"), 0.5),
+        snap.counter("tensor.gemm_calls").unwrap_or(0),
+    );
     std::fs::remove_file(ckpt).ok();
 }

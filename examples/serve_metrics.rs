@@ -1,0 +1,95 @@
+//! Watching a serving process through `ntt::obs`: pre-train a tiny
+//! model, stream a fresh simulated scenario through an
+//! `InferenceSession`, and print a live metrics line every N windows —
+//! then dump the full registry as JSON and Prometheus text, the way a
+//! `/metrics` endpoint or a textfile collector would expose it.
+//!
+//! Everything printed here comes from the process-global registry:
+//! the engine's `serve.predict_ns` span, the session's packet and
+//! prediction counters and window-lag gauge, and the trainer's own
+//! `train.step_ns` spans left over from the pre-training phase.
+//!
+//! Run: `cargo run --release --example serve_metrics`
+//! Kill switch: `NTT_OBS=off cargo run ...` (every line reads 0).
+
+use ntt::core::{Aggregation, Experiment, NttConfig, TrainConfig};
+use ntt::data::RunData;
+use ntt::fleet::SweepSpec;
+use ntt::serve::{InferenceEngine, InferenceSession, SessionConfig};
+use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
+use std::sync::Arc;
+
+fn main() {
+    // ---- Pre-train a small model (instrumented: train.* metrics) ----
+    let exp = Experiment::new(NttConfig {
+        aggregation: Aggregation::MultiScale { block: 2 },
+        d_model: 32,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 64,
+        ..NttConfig::default()
+    })
+    .stride(4)
+    .with_train(TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        lr: 2e-3,
+        max_steps_per_epoch: Some(30),
+        ..TrainConfig::default()
+    });
+    let pre = exp.pretrain(&SweepSpec::single(
+        Scenario::Pretrain,
+        ScenarioConfig::tiny(1),
+        2,
+    ));
+    {
+        let snap = ntt::obs::snapshot();
+        let steps = snap.counter("train.steps").unwrap_or(0);
+        let step_ns = snap.histogram("train.step_ns");
+        println!(
+            "pre-training: {steps} steps, step p50 {:.1} ms, grad norm {:.3}",
+            step_ns.map_or(f64::NAN, |h| h.p50() / 1e6),
+            snap.gauge("train.grad_norm").unwrap_or(f64::NAN),
+        );
+    }
+
+    // ---- Serve a fresh scenario, printing metrics as it streams ----
+    let engine = Arc::new(InferenceEngine::from_pretrained(pre));
+    let trace = run(Scenario::Pretrain, &ScenarioConfig::tiny(42));
+    let stream = RunData::from_trace(&trace);
+    let mut session = InferenceSession::new(Arc::clone(&engine), SessionConfig { stride: 8 });
+
+    const REPORT_EVERY: u64 = 25;
+    const MAX_WINDOWS: u64 = 100;
+    println!("\nstreaming {} packets:", stream.pkts.len());
+    for &pkt in &stream.pkts {
+        let before = session.predictions_made();
+        session.push(pkt);
+        let served = session.predictions_made();
+        if served > before && served.is_multiple_of(REPORT_EVERY) {
+            // One compact line per N windows, straight off the registry.
+            let snap = ntt::obs::snapshot();
+            let predict = snap.histogram("serve.predict_ns");
+            println!(
+                "  {served:>4} windows | packets {:>6} | predict p50 {:>7.2} ms p99 {:>7.2} ms | lag {}",
+                snap.counter("serve.session.packets").unwrap_or(0),
+                predict.map_or(f64::NAN, |h| h.p50() / 1e6),
+                predict.map_or(f64::NAN, |h| h.p99() / 1e6),
+                snap.gauge("serve.session.window_lag").unwrap_or(f64::NAN),
+            );
+        }
+        if served >= MAX_WINDOWS {
+            break;
+        }
+    }
+    println!(
+        "served {} windows over {} packets",
+        engine.windows_served(),
+        session.packets_seen()
+    );
+
+    // ---- Full exposition, both formats ----
+    let snap = ntt::obs::snapshot();
+    println!("\n=== JSON snapshot ===\n{}", snap.to_json());
+    println!("=== Prometheus exposition ===\n{}", snap.to_prometheus());
+}

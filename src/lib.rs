@@ -19,6 +19,9 @@
 //! * [`serve`] — batched model serving: checkpoint registry, grad-free
 //!   inference engine, streaming sessions, micro-batching request
 //!   coalescing, and a live sim → features → predictions loop
+//! * [`obs`] — zero-overhead observability: process-global counters,
+//!   gauges, log-scale latency histograms, RAII span timers, and
+//!   JSON/Prometheus snapshot export (`NTT_OBS=off` kill switch)
 //!
 //! ```
 //! use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
@@ -37,6 +40,7 @@ pub use ntt_core as core;
 pub use ntt_data as data;
 pub use ntt_fleet as fleet;
 pub use ntt_nn as nn;
+pub use ntt_obs as obs;
 pub use ntt_serve as serve;
 pub use ntt_sim as sim;
 pub use ntt_tensor as tensor;
