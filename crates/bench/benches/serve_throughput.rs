@@ -4,12 +4,19 @@
 //! concurrent coalesced serving.
 //!
 //! Custom harness (no criterion): serving is deterministic per window,
-//! so fixed-iteration timed loops are the honest measurement. Two model
-//! shapes are measured:
+//! so fixed-iteration timed loops are the honest measurement. Three
+//! model shapes are measured:
 //! * the **quick-scale serving shape** (64-packet windows, d_model 32)
 //!   for engine-level latency percentiles and batched-forward
 //!   throughput. On one core these forwards are compute-bound, so the
 //!   batch-size curve is nearly flat — recorded to keep that honest;
+//! * the **paper-scale shape** (`NttConfig::default()`: 1024-packet
+//!   windows, d_model 64, 2 layers) for the batched-forward curve that
+//!   actually exercised the cache-spill the fused attention tile
+//!   removes. On a 1-core host the bench **asserts** batched
+//!   windows/s no longer falls with batch size (batch 8 ≥ batch 1 and
+//!   batch 32 ≥ batch 1) — recorded only on multi-core, where
+//!   scheduler overlap muddies the single-threaded claim;
 //! * the **latency-tier shape** (48-packet windows, d_model 8), where
 //!   per-request costs (thread wakeups, request plumbing) are a large
 //!   share of each ~60 µs forward. This is where micro-batching earns
@@ -36,8 +43,11 @@ use std::time::Instant;
 struct Scale {
     /// Timed single-stream predictions (latency percentiles).
     single_iters: usize,
-    /// Windows per batched-forward measurement point.
+    /// Windows per batched-forward measurement point (quick shape).
     batched_windows: usize,
+    /// Windows per batched-forward point at paper scale (each forward
+    /// is ~50x the quick shape's work, so the budget is smaller).
+    paper_windows: usize,
     /// Requests per interactive-serving pass.
     serving_requests: usize,
 }
@@ -58,6 +68,34 @@ fn engine_for(cfg: NttConfig) -> Arc<InferenceEngine> {
         vec![head],
         Normalizer::identity(NUM_FEATURES),
     ))
+}
+
+/// Batched forward throughput vs batch size through one engine (best of
+/// two passes per point to filter 1-core scheduler jitter).
+fn batched_sweep(
+    engine: &Arc<InferenceEngine>,
+    batch_sizes: &[usize],
+    windows: usize,
+    label: &str,
+) -> Vec<(usize, f64)> {
+    let seq = engine.seq_len();
+    let mut out = Vec::new();
+    for &b in batch_sizes {
+        let x = Tensor::randn(&[b, seq, NUM_FEATURES], 19 + b as u64);
+        engine.predict("delay", &x, None); // warmup for this shape
+        let reps = (windows / b).max(2);
+        let mut wps = 0.0f64;
+        for _pass in 0..2 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                engine.predict("delay", &x, None);
+            }
+            wps = wps.max((reps * b) as f64 / t.elapsed().as_secs_f64());
+        }
+        eprintln!("  {label} batch {b:>2}: {wps:>8.1} windows/s");
+        out.push((b, wps));
+    }
+    out
 }
 
 /// Interactive **single-request** serving: a closed loop with one
@@ -129,12 +167,14 @@ fn main() {
         Scale {
             single_iters: 150,
             batched_windows: 320,
+            paper_windows: 64,
             serving_requests: 1200,
         }
     } else {
         Scale {
             single_iters: 400,
             batched_windows: 1024,
+            paper_windows: 192,
             serving_requests: 2500,
         }
     };
@@ -149,7 +189,8 @@ fn main() {
     let seq_a = cfg_a.seq_len();
     let engine_a = engine_for(cfg_a);
     eprintln!(
-        "serve_throughput: shape A seq {seq_a} d{}, shape B seq 48 d8, NTT_THREADS={threads}{}",
+        "serve_throughput: shape A seq {seq_a} d{}, shape P paper-scale, shape B seq 48 d8, \
+         NTT_THREADS={threads}{}",
         cfg_a.d_model,
         if quick { " (quick)" } else { "" }
     );
@@ -177,24 +218,62 @@ fn main() {
     let (p50, p99) = (percentile(&lat_us, 0.50), percentile(&lat_us, 0.99));
     eprintln!("  A single-stream: p50 {p50:.0} µs, p99 {p99:.0} µs");
 
-    // Batched forward throughput vs batch size (best of two passes per
-    // point to filter 1-core scheduler jitter).
+    // Batched forward throughput vs batch size.
     let batch_sizes = [1usize, 2, 4, 8, 16, 32];
-    let mut batched: Vec<(usize, f64)> = Vec::new();
-    for &b in &batch_sizes {
-        let x = Tensor::randn(&[b, seq_a, NUM_FEATURES], 19 + b as u64);
-        engine_a.predict("delay", &x, None); // warmup for this shape
-        let reps = (scale.batched_windows / b).max(4);
-        let mut wps = 0.0f64;
-        for _pass in 0..2 {
-            let t = Instant::now();
-            for _ in 0..reps {
-                engine_a.predict("delay", &x, None);
-            }
-            wps = wps.max((reps * b) as f64 / t.elapsed().as_secs_f64());
-        }
-        eprintln!("  A batch {b:>2}: {wps:>8.1} windows/s");
-        batched.push((b, wps));
+    let batched = batched_sweep(&engine_a, &batch_sizes, scale.batched_windows, "A");
+
+    // ---- shape P: paper-scale batched forwards ----------------------
+    // The model shape the paper actually deploys (`NttConfig::default()`:
+    // 1024-packet windows, d_model 64, 2 layers). Before the fused
+    // attention tile, this curve *fell* with batch size — the
+    // `[B, H, T, T]` score tensors spilled cache between the unfused
+    // kernel phases. The fused tile never materializes them, so batching
+    // must now win on FLOPs.
+    let cfg_p = NttConfig {
+        seed: 3,
+        ..NttConfig::default()
+    };
+    let (seq_p, d_p) = (cfg_p.seq_len(), cfg_p.d_model);
+    let engine_p = engine_for(cfg_p);
+    let paper_batched = batched_sweep(&engine_p, &batch_sizes, scale.paper_windows, "P");
+
+    // Batched-throughput monotonicity gate: asserted only on 1-core
+    // hosts, where the curve is a pure single-thread cache/FLOP story;
+    // on multi-core the kernel-level threading already overlaps work
+    // and the comparison stops isolating what it gates.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let wps_at = |pts: &[(usize, f64)], b: usize| {
+        pts.iter()
+            .find(|(bs, _)| *bs == b)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
+    };
+    let (p1, p8, p32) = (
+        wps_at(&paper_batched, 1),
+        wps_at(&paper_batched, 8),
+        wps_at(&paper_batched, 32),
+    );
+    if cores == 1 {
+        assert!(
+            p8 >= p1,
+            "paper-scale batch 8 ({p8:.1} windows/s) fell below batch 1 ({p1:.1})"
+        );
+        assert!(
+            p32 >= p1,
+            "paper-scale batch 32 ({p32:.1} windows/s) fell below batch 1 ({p1:.1})"
+        );
+        eprintln!(
+            "  paper-scale batching is monotone ✓ (batch 8 {:.2}x, batch 32 {:.2}x of batch 1)",
+            p8 / p1,
+            p32 / p1
+        );
+    } else {
+        eprintln!(
+            "  ({cores} cores: paper-scale monotonicity gate not asserted — \
+             batch 8 {:.2}x, batch 32 {:.2}x recorded only)",
+            p8 / p1,
+            p32 / p1
+        );
     }
 
     // ---- shape B: interactive serving, single vs coalesced ----------
@@ -252,7 +331,6 @@ fn main() {
     // measuring what it gates. Assert only where the claim is defined;
     // elsewhere record the ratio and warn, so the bench never turns
     // hardware weather into a red build.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if cores == 1 {
         assert!(
             largest >= 8,
@@ -286,15 +364,31 @@ fn main() {
         "  \"single_stream\": {{\"predictions\": {}, \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}}},",
         scale.single_iters
     );
-    let _ = writeln!(json, "  \"batched\": [");
-    for (i, (b, wps)) in batched.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"batch\": {b}, \"windows_per_sec\": {wps:.2}}}{}",
-            if i + 1 == batched.len() { "" } else { "," }
-        );
-    }
-    let _ = writeln!(json, "  ],");
+    let write_curve = |json: &mut String, key: &str, pts: &[(usize, f64)]| {
+        let _ = writeln!(json, "  \"{key}\": [");
+        for (i, (b, wps)) in pts.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"batch\": {b}, \"windows_per_sec\": {wps:.2}}}{}",
+                if i + 1 == pts.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(json, "  ],");
+    };
+    write_curve(&mut json, "batched", &batched);
+    let _ = writeln!(
+        json,
+        "  \"paper_shape\": {{\"d_model\": {d_p}, \"seq_len\": {seq_p}}},"
+    );
+    write_curve(&mut json, "paper_batched", &paper_batched);
+    let _ = writeln!(
+        json,
+        "  \"paper_batch_monotone\": {{\"asserted\": {}, \"batch8_over_batch1\": {:.3}, \
+         \"batch32_over_batch1\": {:.3}}},",
+        cores == 1,
+        p8 / p1,
+        p32 / p1
+    );
     let _ = writeln!(
         json,
         "  \"serving_shape\": {{\"d_model\": {}, \"seq_len\": {}}},",

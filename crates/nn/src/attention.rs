@@ -8,7 +8,7 @@
 
 use crate::linear::Linear;
 use crate::module::Module;
-use ntt_tensor::{Param, Tape, Var};
+use ntt_tensor::{kernels, Param, Tape, Tensor, Var};
 
 /// Multi-head self-attention with separate Q/K/V/O projections.
 pub struct MultiHeadAttention {
@@ -47,18 +47,34 @@ impl MultiHeadAttention {
     /// The single forward path shared by [`Self::forward`] and
     /// [`Self::forward_with_weights`]: transpose-free scaled dot-product
     /// attention. Q/K/V stay in the head-interleaved `[B, T, H, dh]`
-    /// layout their projections naturally reshape into; `attn_scores`
-    /// and `attn_context` multiply those views directly, the score
-    /// nonlinearity is the fused `scaled_softmax_last`, and the head
+    /// layout their projections naturally reshape into, and the head
     /// merge is a plain reshape — no `Kᵀ` or axis-swap copy is ever
     /// materialized, in forward or backward.
-    fn attend<'t>(&self, tape: &'t Tape, x: Var<'t>) -> (Var<'t>, Var<'t>) {
+    ///
+    /// On **inference tapes** the score→softmax→context pipeline runs as
+    /// one fused streaming-softmax op ([`Var::attn_fused`]): the
+    /// `[B, H, T, T]` score matrix is never allocated, which is what
+    /// makes batched serving win on FLOPs rather than lose to cache
+    /// spills. On **recording tapes** the classic `attn_scores →
+    /// scaled_softmax_last → attn_context` chain is kept — its backward
+    /// reuses the materialized weights instead of recomputing
+    /// exponentials, so training throughput is unchanged. The two paths
+    /// agree to epsilon, not bitwise (the online softmax reorders the
+    /// IEEE sequence); each is individually bit-deterministic across
+    /// thread counts and batch compositions.
+    fn attend<'t>(
+        &self,
+        tape: &'t Tape,
+        x: Var<'t>,
+        want_weights: bool,
+    ) -> (Var<'t>, Option<Tensor>) {
         let shape = x.shape();
         assert_eq!(shape.len(), 3, "attention expects [B, T, D]");
         let (b, t, d) = (shape[0], shape[1], shape[2]);
         assert_eq!(d, self.d_model, "d_model mismatch");
         let h = self.n_heads;
         let dh = d / h;
+        let scale = 1.0 / (dh as f32).sqrt();
 
         // Project; [B, T, D] reshapes to [B, T, H, dh] for free.
         let split = |v: Var<'t>| v.reshape(&[b, t, h, dh]);
@@ -66,31 +82,40 @@ impl MultiHeadAttention {
         let k = split(self.wk.forward(tape, x));
         let v = split(self.wv.forward(tape, x));
 
-        // softmax(Q·Kᵀ / sqrt(dh)) · V, straight from the strided views.
-        let attn = q
-            .attn_scores(k)
-            .scaled_softmax_last(1.0 / (dh as f32).sqrt());
-        let ctx = attn.attn_context(v); // [B, T, H, dh]
+        let (ctx, weights) = if tape.records_grad() {
+            let attn = q.attn_scores(k).scaled_softmax_last(scale);
+            (attn.attn_context(v), want_weights.then(|| attn.value()))
+        } else {
+            let ctx = q.attn_fused(k, v, scale);
+            // Diagnostics only: materialize the weights off-tape, from
+            // the detached Q/K values. The serving hot path never asks
+            // for them, so the fused forward stays score-matrix-free.
+            let w = want_weights.then(|| {
+                let (vq, vk) = (q.value(), k.value());
+                let mut s = vec![0.0; b * h * t * t];
+                kernels::attn_scores(vq.data(), vk.data(), &mut s, b, t, h, dh);
+                let mut w = vec![0.0; b * h * t * t];
+                kernels::scaled_softmax_fwd(&s, scale, t, &mut w);
+                Tensor::from_vec(w, &[b, h, t, t])
+            });
+            (ctx, w)
+        };
 
         // Merge heads and apply the output projection.
         let merged = ctx.reshape(&[b, t, d]);
-        (self.wo.forward(tape, merged), attn)
+        (self.wo.forward(tape, merged), weights)
     }
 
     /// Self-attention over `x: [B, T, D] -> [B, T, D]`.
     pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
-        self.attend(tape, x).0
+        self.attend(tape, x, false).0
     }
 
     /// Forward pass that also returns the attention weights `[B, H, T, T]`
     /// (diagnostics / interpretability; weights are a detached clone).
-    pub fn forward_with_weights<'t>(
-        &self,
-        tape: &'t Tape,
-        x: Var<'t>,
-    ) -> (Var<'t>, ntt_tensor::Tensor) {
-        let (out, attn) = self.attend(tape, x);
-        (out, attn.value())
+    pub fn forward_with_weights<'t>(&self, tape: &'t Tape, x: Var<'t>) -> (Var<'t>, Tensor) {
+        let (out, weights) = self.attend(tape, x, true);
+        (out, weights.expect("attend(want_weights) returns weights"))
     }
 }
 
@@ -216,13 +241,69 @@ mod tests {
     #[test]
     fn forward_with_weights_shares_the_forward_path() {
         // The two entry points are one implementation: outputs must be
-        // bit-identical, not merely close.
+        // bit-identical, not merely close — on both tape modes.
         let mha = MultiHeadAttention::new("a", 16, 4, 11);
-        let tape = Tape::new();
         let x = Tensor::randn(&[2, 5, 16], 12);
-        let y = mha.forward(&tape, tape.input(x.clone())).value();
-        let (y2, w) = mha.forward_with_weights(&tape, tape.input(x));
-        assert_eq!(y, y2.value());
-        assert_eq!(w.shape(), &[2, 4, 5, 5]);
+        for tape in [Tape::with_seed(0), Tape::inference_with_seed(0)] {
+            let y = mha.forward(&tape, tape.input(x.clone())).value();
+            let (y2, w) = mha.forward_with_weights(&tape, tape.input(x.clone()));
+            assert_eq!(y, y2.value());
+            assert_eq!(w.shape(), &[2, 4, 5, 5]);
+        }
+    }
+
+    #[test]
+    fn inference_forward_matches_recording_within_eps() {
+        // Inference tapes run the fused streaming-softmax attention, so
+        // cross-mode equality is epsilon-level (the documented
+        // contract), while inference-vs-inference stays bit-identical.
+        let mha = MultiHeadAttention::new("a", 16, 4, 13);
+        let x = Tensor::randn(&[3, 7, 16], 14);
+        let run = |tape: &Tape| mha.forward(tape, tape.input(x.clone())).value();
+        let recorded = run(&Tape::with_seed(1));
+        let inferred = run(&Tape::inference_with_seed(1));
+        let inferred2 = run(&Tape::inference_with_seed(99));
+        assert!(recorded.allclose(&inferred, 1e-5), "fused path drifted");
+        assert_eq!(inferred, inferred2, "inference must be bit-reproducible");
+    }
+
+    #[test]
+    fn inference_weights_match_recording_weights() {
+        // The fused path reconstructs diagnostic weights off-tape; they
+        // must be row-stochastic and agree with the classic path.
+        let mha = MultiHeadAttention::new("a", 8, 2, 15);
+        let x = Tensor::randn(&[1, 5, 8], 16);
+        let rec = Tape::with_seed(2);
+        let inf = Tape::inference_with_seed(2);
+        let (_, wr) = mha.forward_with_weights(&rec, rec.input(x.clone()));
+        let (_, wi) = mha.forward_with_weights(&inf, inf.input(x));
+        assert!(wr.allclose(&wi, 1e-5), "weights diverged across modes");
+        for row in wi.data().chunks(5) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn inference_attend_never_allocates_score_matrix() {
+        // The full attention layer — projections included — on an
+        // inference tape must leave no [B,H,T,T]- or [B,T,T]-sized
+        // buffer behind in the tape arena (t chosen so those lengths
+        // collide with no projection/context shape).
+        let (b, t, d, h) = (2usize, 19, 8, 2);
+        let mha = MultiHeadAttention::new("a", d, h, 17);
+        let x = Tensor::randn(&[b, t, d], 18);
+        let mut tape = Tape::inference_with_seed(3);
+        mha.forward(&tape, tape.input(x.clone())).value();
+        tape.reset(3);
+        let forbidden = [b * h * t * t, b * t * t, h * t * t, t * t];
+        for (len, _) in tape.arena_bucket_lens() {
+            assert!(
+                !forbidden.contains(&len),
+                "inference attention retired a score-matrix-sized buffer ({len})"
+            );
+        }
+        // Sanity: the run did retire context/projection-sized buffers.
+        assert!(tape.scratch_buffers() > 0);
     }
 }

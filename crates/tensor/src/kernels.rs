@@ -668,6 +668,442 @@ pub fn softmax_bwd(y: &[f32], g: &[f32], scale: f32, d: usize, gx: &mut [f32]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fused streaming-softmax attention (flash-attention style).
+//
+// `attn_fused_fwd` computes `softmax(scale · Q·Kᵀ) · V` per `(b, h)`
+// without ever materializing the `[B, H, T, T]` score matrix: for each
+// MR-row tile of queries it walks NR-wide key panels, computes the
+// score tile with the same packed microkernel as the GEMM engine, and
+// folds it into a running (max, sum, context) triple — the online
+// softmax. The context accumulator is rescaled by
+// `exp(m_old − m_new)` whenever a panel raises the running max, and
+// divided by the final sum once per row. Peak extra memory per thread
+// is the packed K panels (`T × dh` floats) plus an `MR × dh` context
+// tile — independent of `T²`.
+//
+// Determinism: panels and row tiles are walked in fixed ascending
+// order, and threads split only the batch dimension (each `bi` is an
+// independent, contiguous slice of every operand), so results are
+// bit-identical across thread counts and batch compositions. The
+// online rescaling *does* reorder the IEEE sequence relative to the
+// classic `attn_scores → scaled_softmax → attn_context` chain, so
+// fused-vs-classic equality is epsilon-level, not bitwise — by design.
+// ---------------------------------------------------------------------------
+
+std::thread_local! {
+    /// Fused-attention packing/accumulator scratch, separate from
+    /// BPACK/APACK so a fused call can never clobber an enclosing
+    /// gemm's panels. Capacity is retained across calls: steady-state
+    /// serving does not allocate here.
+    static FUSED_KPACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static FUSED_QPACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static FUSED_ROW: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static FUSED_D: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Per-row softmax statistics saved by [`attn_fused_fwd`] for the
+/// backward pass: `(running max, exp-sum)` pairs, laid out `[B, H, T, 2]`.
+pub const FUSED_STATS_PER_ROW: usize = 2;
+
+/// Fused attention forward: `ctx[b,i,h,:] = softmax_j(scale · q_i·k_j) · V`
+/// over `[B, T, H, dh]` views, overwriting `ctx` (same layout). When
+/// `stats` is `Some`, the per-row `(max, sum)` pairs are written to it
+/// (`[B, H, T, 2]`) so the backward can recompute score tiles exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn attn_fused_fwd(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    scale: f32,
+    ctx: &mut [f32],
+    stats: Option<&mut [f32]>,
+    b: usize,
+    t: usize,
+    h: usize,
+    dh: usize,
+) {
+    debug_assert_eq!(q.len(), b * t * h * dh);
+    debug_assert_eq!(k.len(), b * t * h * dh);
+    debug_assert_eq!(v.len(), b * t * h * dh);
+    debug_assert_eq!(ctx.len(), b * t * h * dh);
+    if let Some(st) = stats.as_deref() {
+        debug_assert_eq!(st.len(), b * h * t * FUSED_STATS_PER_ROW);
+    }
+    if b == 0 || t == 0 || h == 0 {
+        return;
+    }
+    ntt_obs::counter!("tensor.attn_fused_calls").inc();
+    let hd = h * dh;
+    // Scores + context flops per batch row; the same threshold heuristic
+    // as the GEMM engine decides whether threads pay for themselves.
+    let threads = par_rows(b, 2 * h * t * t * dh.max(1));
+    if threads <= 1 {
+        fused_fwd_rows(q, k, v, scale, ctx, stats, 0..b, t, h, dh);
+        return;
+    }
+    let rows_per = b.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut ctx_rest = ctx;
+        let mut stats_rest = stats;
+        let mut start = 0usize;
+        while start < b {
+            let rows = rows_per.min(b - start);
+            let (ctx_chunk, ctx_tail) = ctx_rest.split_at_mut(rows * t * hd);
+            ctx_rest = ctx_tail;
+            let stats_chunk = match stats_rest.take() {
+                Some(st) => {
+                    let (head, tail) = st.split_at_mut(rows * h * t * FUSED_STATS_PER_ROW);
+                    stats_rest = Some(tail);
+                    Some(head)
+                }
+                None => None,
+            };
+            let range = start..start + rows;
+            s.spawn(move || {
+                fused_fwd_rows(q, k, v, scale, ctx_chunk, stats_chunk, range, t, h, dh)
+            });
+            start += rows;
+        }
+    });
+}
+
+/// Pack the K rows of one `(b, h)` slice (`k_sub` starting at that
+/// head's first element, row stride `hd`) into NR-column panels, KC
+/// depth blocks — exactly the layout [`gemm_core`] feeds the
+/// microkernel. Returns the per-block stride.
+fn fused_pack_k(k_sub: &[f32], hd: usize, t: usize, dh: usize, out: &mut Vec<f32>) -> usize {
+    let n_panels = t.div_ceil(NR);
+    let n_blocks = dh.div_ceil(KC);
+    let block_stride = n_panels * KC * NR;
+    out.clear();
+    out.resize(n_blocks * block_stride, 0.0);
+    for (blk, pc) in (0..dh).step_by(KC).enumerate() {
+        let kc = KC.min(dh - pc);
+        // Logical B[p, j] = k_sub[j * hd + p]: a transposed (`nt`)
+        // source, so each key row is read contiguously.
+        pack_b(k_sub, 1, hd, pc, kc, t, &mut out[blk * block_stride..]);
+    }
+    block_stride
+}
+
+/// Pack one MR-row tile of Q (`rows ic..ic+mc` of `q_sub`, row stride
+/// `hd`) into per-depth-block micro-panels of fixed `KC × MR` stride.
+fn fused_pack_q(q_sub: &[f32], hd: usize, ic: usize, mc: usize, dh: usize, out: &mut Vec<f32>) {
+    let n_blocks = dh.div_ceil(KC).max(1);
+    out.clear();
+    out.resize(n_blocks * KC * MR, 0.0);
+    for (blk, pc) in (0..dh).step_by(KC).enumerate() {
+        let kc = KC.min(dh - pc);
+        pack_a_block(
+            q_sub,
+            hd,
+            1,
+            ic,
+            mc,
+            pc,
+            kc,
+            &mut out[blk * KC * MR..][..kc * MR],
+        );
+    }
+}
+
+/// One `Q·Kᵀ` score tile: MR query rows × NR key columns, summed over
+/// the KC depth blocks (the microkernel overwrites its accumulator, so
+/// multi-block depths are added here — same ascending-`pc` order as the
+/// GEMM engine).
+fn fused_score_tile(
+    qpack: &[f32],
+    kpack: &[f32],
+    block_stride: usize,
+    jp: usize,
+    dh: usize,
+) -> [[f32; NR]; MR] {
+    let micro = micro_fn();
+    let mut stile = [[0.0f32; NR]; MR];
+    for (blk, pc) in (0..dh).step_by(KC).enumerate() {
+        let kc = KC.min(dh - pc);
+        let qpanel = &qpack[blk * KC * MR..][..kc * MR];
+        let kpanel = &kpack[blk * block_stride + jp * kc * NR..][..kc * NR];
+        let mut acc = [[0.0f32; NR]; MR];
+        // SAFETY: micro_fn verified the required CPU features.
+        unsafe { micro(kc, qpanel, kpanel, &mut acc) };
+        for r in 0..MR {
+            for j in 0..NR {
+                stile[r][j] += acc[r][j];
+            }
+        }
+    }
+    stile
+}
+
+/// One thread's share of [`attn_fused_fwd`]: batch rows `range`, with
+/// `ctx_chunk`/`stats_chunk` starting at row `range.start`.
+#[allow(clippy::too_many_arguments)]
+fn fused_fwd_rows(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    scale: f32,
+    ctx_chunk: &mut [f32],
+    mut stats_chunk: Option<&mut [f32]>,
+    range: Range<usize>,
+    t: usize,
+    h: usize,
+    dh: usize,
+) {
+    let hd = h * dh;
+    let n_panels = t.div_ceil(NR);
+    FUSED_KPACK.with(|kp| {
+        FUSED_QPACK.with(|qp| {
+            FUSED_ROW.with(|rowbuf| {
+                let kp = &mut *kp.borrow_mut();
+                let qp = &mut *qp.borrow_mut();
+                let acc = &mut *rowbuf.borrow_mut();
+                for bi in range.clone() {
+                    for hi in 0..h {
+                        let base = bi * t * hd + hi * dh;
+                        let block_stride = fused_pack_k(&k[base..], hd, t, dh, kp);
+                        let mut ic = 0usize;
+                        while ic < t {
+                            let mc = MR.min(t - ic);
+                            fused_pack_q(&q[base..], hd, ic, mc, dh, qp);
+                            let mut mrow = [f32::NEG_INFINITY; MR];
+                            let mut lrow = [0.0f32; MR];
+                            acc.clear();
+                            acc.resize(MR * dh, 0.0);
+                            for jp in 0..n_panels {
+                                let j0 = jp * NR;
+                                let jw = NR.min(t - j0);
+                                let stile = fused_score_tile(qp, kp, block_stride, jp, dh);
+                                for r in 0..mc {
+                                    // Only the jw live lanes enter the
+                                    // softmax: zero-padded tails never
+                                    // contribute an exp term.
+                                    let mut mnew = mrow[r];
+                                    for &s in &stile[r][..jw] {
+                                        mnew = mnew.max(scale * s);
+                                    }
+                                    // First panel: mrow is -inf, so
+                                    // corr = exp(-inf) = 0 and the
+                                    // (all-zero) accumulator is wiped.
+                                    let corr = (mrow[r] - mnew).exp();
+                                    mrow[r] = mnew;
+                                    let mut e = [0.0f32; NR];
+                                    let mut lsum = 0.0f32;
+                                    for (ej, &s) in e[..jw].iter_mut().zip(&stile[r][..jw]) {
+                                        *ej = (scale * s - mnew).exp();
+                                        lsum += *ej;
+                                    }
+                                    lrow[r] = lrow[r] * corr + lsum;
+                                    let acc_row = &mut acc[r * dh..(r + 1) * dh];
+                                    for a in acc_row.iter_mut() {
+                                        *a *= corr;
+                                    }
+                                    for (j, &ej) in e[..jw].iter().enumerate() {
+                                        let vrow = &v[base + (j0 + j) * hd..][..dh];
+                                        for (a, &vd) in acc_row.iter_mut().zip(vrow) {
+                                            *a += ej * vd;
+                                        }
+                                    }
+                                }
+                            }
+                            for r in 0..mc {
+                                let i = ic + r;
+                                let inv = 1.0 / lrow[r];
+                                let off = ((bi - range.start) * t + i) * hd + hi * dh;
+                                for (dst, &a) in
+                                    ctx_chunk[off..off + dh].iter_mut().zip(&acc[r * dh..])
+                                {
+                                    *dst = a * inv;
+                                }
+                                if let Some(st) = stats_chunk.as_deref_mut() {
+                                    let so = (((bi - range.start) * h + hi) * t + i)
+                                        * FUSED_STATS_PER_ROW;
+                                    st[so] = mrow[r];
+                                    st[so + 1] = lrow[r];
+                                }
+                            }
+                            ic += mc;
+                        }
+                    }
+                }
+            });
+        });
+    });
+}
+
+/// Fused attention backward: given the forward inputs, output `o`,
+/// upstream gradient `g` (all `[B, T, H, dh]`) and the saved softmax
+/// stats (`[B, H, T, 2]`), accumulates `dQ`, `dK`, `dV` into
+/// `gq`/`gk`/`gv` (`+=`, matching the other backward kernels). Score
+/// tiles are recomputed on the fly with the same packed microkernel and
+/// tile order as the forward — the probabilities are bit-identical to
+/// the ones the forward folded in, and nothing `T²`-sized is allocated.
+#[allow(clippy::too_many_arguments)]
+pub fn attn_fused_bwd(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    g: &[f32],
+    o: &[f32],
+    stats: &[f32],
+    scale: f32,
+    gq: &mut [f32],
+    gk: &mut [f32],
+    gv: &mut [f32],
+    b: usize,
+    t: usize,
+    h: usize,
+    dh: usize,
+) {
+    debug_assert_eq!(q.len(), b * t * h * dh);
+    debug_assert_eq!(g.len(), b * t * h * dh);
+    debug_assert_eq!(o.len(), b * t * h * dh);
+    debug_assert_eq!(stats.len(), b * h * t * FUSED_STATS_PER_ROW);
+    if b == 0 || t == 0 || h == 0 {
+        return;
+    }
+    let hd = h * dh;
+    let threads = par_rows(b, 5 * h * t * t * dh.max(1));
+    if threads <= 1 {
+        fused_bwd_rows(q, k, v, g, o, stats, scale, gq, gk, gv, 0..b, t, h, dh);
+        return;
+    }
+    let rows_per = b.div_ceil(threads);
+    std::thread::scope(|s| {
+        let (mut gq_rest, mut gk_rest, mut gv_rest) = (gq, gk, gv);
+        let mut start = 0usize;
+        while start < b {
+            let rows = rows_per.min(b - start);
+            let (gq_chunk, gq_tail) = gq_rest.split_at_mut(rows * t * hd);
+            let (gk_chunk, gk_tail) = gk_rest.split_at_mut(rows * t * hd);
+            let (gv_chunk, gv_tail) = gv_rest.split_at_mut(rows * t * hd);
+            gq_rest = gq_tail;
+            gk_rest = gk_tail;
+            gv_rest = gv_tail;
+            let range = start..start + rows;
+            s.spawn(move || {
+                fused_bwd_rows(
+                    q, k, v, g, o, stats, scale, gq_chunk, gk_chunk, gv_chunk, range, t, h, dh,
+                );
+            });
+            start += rows;
+        }
+    });
+}
+
+/// One thread's share of [`attn_fused_bwd`]: batch rows `range`, grad
+/// chunks starting at row `range.start`.
+#[allow(clippy::too_many_arguments)]
+fn fused_bwd_rows(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    g: &[f32],
+    o: &[f32],
+    stats: &[f32],
+    scale: f32,
+    gq_chunk: &mut [f32],
+    gk_chunk: &mut [f32],
+    gv_chunk: &mut [f32],
+    range: Range<usize>,
+    t: usize,
+    h: usize,
+    dh: usize,
+) {
+    let hd = h * dh;
+    let n_panels = t.div_ceil(NR);
+    FUSED_KPACK.with(|kp| {
+        FUSED_QPACK.with(|qp| {
+            FUSED_ROW.with(|rowbuf| {
+                FUSED_D.with(|dbuf| {
+                    let kp = &mut *kp.borrow_mut();
+                    let qp = &mut *qp.borrow_mut();
+                    let gqacc = &mut *rowbuf.borrow_mut();
+                    let dvec = &mut *dbuf.borrow_mut();
+                    for bi in range.clone() {
+                        for hi in 0..h {
+                            let base = bi * t * hd + hi * dh;
+                            let rel = (bi - range.start) * t * hd + hi * dh;
+                            // D_i = ⟨dO_i, O_i⟩ — the softmax-row dot
+                            // term, precomputed once per (b, h).
+                            dvec.clear();
+                            dvec.resize(t, 0.0);
+                            for (i, d) in dvec.iter_mut().enumerate() {
+                                let grow = &g[base + i * hd..][..dh];
+                                let orow = &o[base + i * hd..][..dh];
+                                for (&gd, &od) in grow.iter().zip(orow) {
+                                    *d += gd * od;
+                                }
+                            }
+                            let block_stride = fused_pack_k(&k[base..], hd, t, dh, kp);
+                            let mut ic = 0usize;
+                            while ic < t {
+                                let mc = MR.min(t - ic);
+                                fused_pack_q(&q[base..], hd, ic, mc, dh, qp);
+                                gqacc.clear();
+                                gqacc.resize(MR * dh, 0.0);
+                                for jp in 0..n_panels {
+                                    let j0 = jp * NR;
+                                    let jw = NR.min(t - j0);
+                                    let stile = fused_score_tile(qp, kp, block_stride, jp, dh);
+                                    for r in 0..mc {
+                                        let i = ic + r;
+                                        let so = ((bi * h + hi) * t + i) * FUSED_STATS_PER_ROW;
+                                        let (mi, li) = (stats[so], stats[so + 1]);
+                                        let inv_l = 1.0 / li;
+                                        let grow = &g[base + i * hd..][..dh];
+                                        let qrow = &q[base + i * hd..][..dh];
+                                        let di = dvec[i];
+                                        let gqrow = &mut gqacc[r * dh..(r + 1) * dh];
+                                        for (j, &s) in stile[r][..jw].iter().enumerate() {
+                                            let jj = j0 + j;
+                                            let krow = &k[base + jj * hd..][..dh];
+                                            let vrow = &v[base + jj * hd..][..dh];
+                                            // P_ij from the recomputed
+                                            // score and saved stats.
+                                            let p = (scale * s - mi).exp() * inv_l;
+                                            let mut dp = 0.0f32;
+                                            for (&gd, &vd) in grow.iter().zip(vrow) {
+                                                dp += gd * vd;
+                                            }
+                                            let ds = scale * p * (dp - di);
+                                            for (a, &kd) in gqrow.iter_mut().zip(krow) {
+                                                *a += ds * kd;
+                                            }
+                                            let goff = rel + jj * hd;
+                                            for (a, &qd) in
+                                                gk_chunk[goff..goff + dh].iter_mut().zip(qrow)
+                                            {
+                                                *a += ds * qd;
+                                            }
+                                            for (a, &gd) in
+                                                gv_chunk[goff..goff + dh].iter_mut().zip(grow)
+                                            {
+                                                *a += p * gd;
+                                            }
+                                        }
+                                    }
+                                }
+                                for r in 0..mc {
+                                    let off = rel + (ic + r) * hd;
+                                    for (dst, &a) in
+                                        gq_chunk[off..off + dh].iter_mut().zip(&gqacc[r * dh..])
+                                    {
+                                        *dst += a;
+                                    }
+                                }
+                                ic += mc;
+                            }
+                        }
+                    }
+                });
+            });
+        });
+    });
+}
+
 /// Naive triple-loop reference kernels: the ground truth the tiled
 /// engine is proptested against, and the baseline the `kernels` bench
 /// measures its GFLOP/s floor from. Deliberately unblocked and
@@ -954,5 +1390,216 @@ mod tests {
         assert_eq!(c, vec![6.0]);
         attn_scores(&[], &[], &mut [], 0, 0, 2, 0);
         scaled_softmax_fwd(&[], 1.0, 3, &mut []);
+        attn_fused_fwd(&[], &[], &[], 1.0, &mut [], None, 0, 3, 2, 4);
+    }
+
+    /// The classic three-kernel chain the fused path replaces.
+    #[allow(clippy::too_many_arguments)]
+    fn classic_attention(
+        q: &[f32],
+        k: &[f32],
+        v: &[f32],
+        scale: f32,
+        b: usize,
+        t: usize,
+        h: usize,
+        dh: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let mut scores = vec![0.0; b * h * t * t];
+        attn_scores(q, k, &mut scores, b, t, h, dh);
+        let mut w = vec![0.0; b * h * t * t];
+        scaled_softmax_fwd(&scores, scale, t, &mut w);
+        let mut ctx = vec![0.0; b * t * h * dh];
+        attn_context(&w, v, &mut ctx, b, t, h, dh);
+        (ctx, w)
+    }
+
+    #[test]
+    fn fused_attention_matches_classic_chain() {
+        // Shapes straddling every tile boundary: t below/at/above NR,
+        // t = 1, primes, and dh not a multiple of anything.
+        for (b, t, h, dh) in [
+            (1usize, 1usize, 1usize, 3usize),
+            (2, 5, 3, 4),
+            (1, 15, 2, 7),
+            (1, 16, 1, 8),
+            (2, 17, 2, 5),
+            (1, 31, 1, 16),
+            (1, 48, 4, 16),
+        ] {
+            let n = b * t * h * dh;
+            let q = rand_vec(n, 51);
+            let k = rand_vec(n, 52);
+            let v = rand_vec(n, 53);
+            let scale = 1.0 / (dh as f32).sqrt();
+            let (want, _) = classic_attention(&q, &k, &v, scale, b, t, h, dh);
+            let mut got = vec![f32::NAN; n];
+            let mut stats = vec![f32::NAN; b * h * t * FUSED_STATS_PER_ROW];
+            attn_fused_fwd(&q, &k, &v, scale, &mut got, Some(&mut stats), b, t, h, dh);
+            for (x, y) in got.iter().zip(&want) {
+                assert!(
+                    (x - y).abs() < 1e-5,
+                    "fused {x} vs classic {y} at (b={b},t={t},h={h},dh={dh})"
+                );
+            }
+            // Stats must be fully written and finite (l >= 1: the max
+            // element always contributes exp(0) = 1).
+            for pair in stats.chunks(2) {
+                assert!(pair[0].is_finite());
+                assert!(pair[1] >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_attention_is_bit_identical_across_threads() {
+        // Threads split only the batch dimension; the per-(b,h) tile
+        // walk is fixed — so any forced split must reproduce the
+        // sequential bits exactly.
+        let (b, t, h, dh) = (5usize, 17, 3, 8);
+        let n = b * t * h * dh;
+        let q = rand_vec(n, 61);
+        let k = rand_vec(n, 62);
+        let v = rand_vec(n, 63);
+        let mut base = vec![0.0; n];
+        let mut base_stats = vec![0.0; b * h * t * FUSED_STATS_PER_ROW];
+        attn_fused_fwd(
+            &q,
+            &k,
+            &v,
+            0.5,
+            &mut base,
+            Some(&mut base_stats),
+            b,
+            t,
+            h,
+            dh,
+        );
+        for threads in [2, 3, 7] {
+            let mut ctx = vec![0.0; n];
+            let mut stats = vec![0.0; b * h * t * FUSED_STATS_PER_ROW];
+            with_forced_threads(threads, || {
+                attn_fused_fwd(&q, &k, &v, 0.5, &mut ctx, Some(&mut stats), b, t, h, dh);
+            });
+            assert_eq!(base, ctx, "fwd bits changed at {threads} threads");
+            assert_eq!(base_stats, stats, "stats bits changed at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn fused_attention_is_batch_composition_invariant() {
+        // Window w's context must be bit-identical whether it rides in
+        // a batch of 4 or alone — each batch row is an independent,
+        // identically-ordered computation.
+        let (b, t, h, dh) = (4usize, 13, 2, 6);
+        let n = b * t * h * dh;
+        let q = rand_vec(n, 71);
+        let k = rand_vec(n, 72);
+        let v = rand_vec(n, 73);
+        let mut batched = vec![0.0; n];
+        attn_fused_fwd(&q, &k, &v, 0.3, &mut batched, None, b, t, h, dh);
+        let per = t * h * dh;
+        for bi in 0..b {
+            let mut solo = vec![0.0; per];
+            attn_fused_fwd(
+                &q[bi * per..][..per],
+                &k[bi * per..][..per],
+                &v[bi * per..][..per],
+                0.3,
+                &mut solo,
+                None,
+                1,
+                t,
+                h,
+                dh,
+            );
+            assert_eq!(
+                &batched[bi * per..][..per],
+                &solo[..],
+                "window {bi} bits differ"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_backward_matches_classic_chain_backward() {
+        for (b, t, h, dh) in [
+            (1usize, 1usize, 1usize, 3usize),
+            (2, 17, 2, 5),
+            (1, 20, 3, 4),
+        ] {
+            let n = b * t * h * dh;
+            let q = rand_vec(n, 81);
+            let k = rand_vec(n, 82);
+            let v = rand_vec(n, 83);
+            let g = rand_vec(n, 84);
+            let scale = 1.0 / (dh as f32).sqrt();
+
+            // Classic chain gradients, composed from the existing
+            // kernels: dV = Wᵀ·G, dW[i,j] = ⟨g_i, v_j⟩, dS via
+            // softmax_bwd, dQ = dS·K, dK = dSᵀ·Q.
+            let (_, w) = classic_attention(&q, &k, &v, scale, b, t, h, dh);
+            let mut want_gv = vec![0.0; n];
+            attn_context_t(&w, &g, &mut want_gv, b, t, h, dh);
+            let mut dw = vec![0.0; b * h * t * t];
+            attn_scores(&g, &v, &mut dw, b, t, h, dh);
+            let mut ds = vec![0.0; b * h * t * t];
+            softmax_bwd(&w, &dw, scale, t, &mut ds);
+            let mut want_gq = vec![0.0; n];
+            attn_context(&ds, &k, &mut want_gq, b, t, h, dh);
+            let mut want_gk = vec![0.0; n];
+            attn_context_t(&ds, &q, &mut want_gk, b, t, h, dh);
+
+            let mut ctx = vec![0.0; n];
+            let mut stats = vec![0.0; b * h * t * FUSED_STATS_PER_ROW];
+            attn_fused_fwd(&q, &k, &v, scale, &mut ctx, Some(&mut stats), b, t, h, dh);
+            let (mut gq, mut gk, mut gv) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            attn_fused_bwd(
+                &q, &k, &v, &g, &ctx, &stats, scale, &mut gq, &mut gk, &mut gv, b, t, h, dh,
+            );
+            for (name, got, want) in [
+                ("gq", &gq, &want_gq),
+                ("gk", &gk, &want_gk),
+                ("gv", &gv, &want_gv),
+            ] {
+                for (x, y) in got.iter().zip(want.iter()) {
+                    assert!(
+                        (x - y).abs() < 1e-4,
+                        "{name}: fused {x} vs classic {y} (b={b},t={t},h={h},dh={dh})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_backward_is_bit_identical_across_threads() {
+        let (b, t, h, dh) = (5usize, 11, 2, 7);
+        let n = b * t * h * dh;
+        let q = rand_vec(n, 91);
+        let k = rand_vec(n, 92);
+        let v = rand_vec(n, 93);
+        let g = rand_vec(n, 94);
+        let mut ctx = vec![0.0; n];
+        let mut stats = vec![0.0; b * h * t * FUSED_STATS_PER_ROW];
+        attn_fused_fwd(&q, &k, &v, 0.4, &mut ctx, Some(&mut stats), b, t, h, dh);
+        let run = |threads: usize| {
+            let (mut gq, mut gk, mut gv) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            let mut go = || {
+                attn_fused_bwd(
+                    &q, &k, &v, &g, &ctx, &stats, 0.4, &mut gq, &mut gk, &mut gv, b, t, h, dh,
+                )
+            };
+            if threads == 0 {
+                go();
+            } else {
+                with_forced_threads(threads, go);
+            }
+            (gq, gk, gv)
+        };
+        let base = run(0);
+        for threads in [2, 3, 7] {
+            assert_eq!(base, run(threads), "bwd bits changed at {threads} threads");
+        }
     }
 }

@@ -36,27 +36,37 @@
 //!
 //! # Inference mode
 //!
-//! A tape built with [`Tape::inference`] runs the **identical kernel
-//! sequence** as a recording tape — forward values are bit-for-bit the
-//! same — but records no backward metadata: every node degrades to a
-//! leaf, backward-only tensors (layer-norm `xhat`, dropout masks, MSE
-//! targets) are never materialized, and no gradient slot is ever
-//! allocated. [`Tape::backward`] / [`Tape::backward_params`] panic on
-//! such a tape. This is the execution mode the evaluation loops and the
-//! `ntt-serve` engine run on: training is one mode of the engine, not
-//! the engine itself. Values still live on the tape (later ops read
-//! them) and are retired into the scratch arena on [`Tape::reset`], so
-//! a serving loop that resets one inference tape per request reuses the
-//! same memory request after request.
+//! A tape built with [`Tape::inference`] records no backward metadata:
+//! every node degrades to a leaf, backward-only tensors (layer-norm
+//! `xhat`, dropout masks, MSE targets, fused-attention softmax stats)
+//! are never materialized, and no gradient slot is ever allocated.
+//! [`Tape::backward`] / [`Tape::backward_params`] panic on such a tape.
+//! This is the execution mode the evaluation loops and the `ntt-serve`
+//! engine run on: training is one mode of the engine, not the engine
+//! itself. Values still live on the tape (later ops read them) and are
+//! retired into the scratch arena on [`Tape::reset`], so a serving loop
+//! that resets one inference tape per request reuses the same memory
+//! request after request.
+//!
+//! For any *given* graph, an inference tape runs the identical kernel
+//! sequence as a recording tape — forward values are bit-for-bit the
+//! same. Model code may however *choose* a different (cheaper) op on
+//! inference tapes: multi-head attention runs [`Var::attn_fused`] there
+//! instead of the classic three-op chain, which makes inference
+//! forwards epsilon-close — not bit-equal — to recording forwards (see
+//! [`Var::attn_fused`] for the exact contract). Inference results
+//! remain bit-identical across thread counts, batch compositions, runs,
+//! and resets.
 //!
 //! The op set is exactly what the Network Traffic Transformer needs
 //! (linear algebra, attention plumbing, sequence slicing for the
 //! multi-timescale aggregator, fused layer-norm, softmax and MSE). The
 //! attention ops ([`Var::attn_scores`], [`Var::attn_context`],
-//! [`Var::scaled_softmax_last`]) work directly on head-interleaved
-//! `[B, T, H, dh]` layouts so multi-head attention never materializes a
-//! transpose. Each op's backward rule is unit-tested against finite
-//! differences in [`crate::grad_check`].
+//! [`Var::scaled_softmax_last`], and the fused [`Var::attn_fused`])
+//! work directly on head-interleaved `[B, T, H, dh]` layouts so
+//! multi-head attention never materializes a transpose. Each op's
+//! backward rule is unit-tested against finite differences in
+//! [`crate::grad_check`].
 
 use crate::shape::{self, Broadcast};
 use crate::{kernels, Param, Tensor};
@@ -88,20 +98,42 @@ static NEXT_TAPE_SEED: AtomicU64 = AtomicU64::new(0x7a9e_5eed);
 /// tape sees many distinct shapes.
 const SCRATCH_BUCKET_CAP: usize = 32;
 
+/// Per-bucket *byte* budget: a bucket stops absorbing retirements once
+/// it already pools this many bytes (it always keeps at least one
+/// buffer, so exact-length reuse keeps working for any shape). The
+/// count cap alone let giant buffers — e.g. `[B, H, T, T]` score
+/// matrices from classic-path attention at large batch — pin up to
+/// 32 × their size indefinitely. Sized so it never binds at paper-scale
+/// training shapes (largest recurring bucket there is ~8 MiB × a
+/// handful live); only pathological one-off shapes are shed.
+const SCRATCH_BUCKET_BYTE_CAP: usize = 64 << 20;
+
+const F32_BYTES: usize = std::mem::size_of::<f32>();
+
 /// Pool of retired `f32` buffers, bucketed by exact length. Training
 /// shapes are stable step over step, so exact-length reuse hits nearly
 /// always; buffers for shapes that stop occurring age out when the tape
-/// is dropped.
+/// is dropped. Pooled bytes are tracked, with the lifetime high-water
+/// exported through the process-wide `tensor.tape_arena_bytes` gauge.
 #[derive(Default)]
 struct Scratch {
     pool: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
+    /// Bytes currently pooled across every bucket.
+    bytes: Cell<usize>,
+    /// Largest value `bytes` has reached over this arena's lifetime.
+    high_water: Cell<usize>,
 }
 
 impl Scratch {
+    fn on_take(&self, n: usize) {
+        self.bytes.set(self.bytes.get() - n * F32_BYTES);
+    }
+
     /// A zeroed buffer of length `n` (for accumulation targets).
     fn take_zeroed(&self, n: usize) -> Vec<f32> {
         match self.pool.borrow_mut().get_mut(&n).and_then(Vec::pop) {
             Some(mut v) => {
+                self.on_take(n);
                 v.fill(0.0);
                 v
             }
@@ -113,7 +145,10 @@ impl Scratch {
     /// overwrite every element before the buffer becomes visible.
     fn take_overwrite(&self, n: usize) -> Vec<f32> {
         match self.pool.borrow_mut().get_mut(&n).and_then(Vec::pop) {
-            Some(v) => v,
+            Some(v) => {
+                self.on_take(n);
+                v
+            }
             None => vec![0.0; n],
         }
     }
@@ -127,6 +162,7 @@ impl Scratch {
             .and_then(Vec::pop)
         {
             Some(mut v) => {
+                self.on_take(src.len());
                 v.copy_from_slice(src);
                 v
             }
@@ -134,20 +170,49 @@ impl Scratch {
         }
     }
 
-    /// Retire a buffer for reuse.
+    /// Retire a buffer for reuse. Dropped (freed, not pooled) when its
+    /// bucket is full by count *or* by bytes — except that every bucket
+    /// keeps at least one buffer, so steady-state reuse survives any
+    /// buffer size.
     fn put(&self, v: Vec<f32>) {
         if v.is_empty() {
             return;
         }
+        let len = v.len();
         let mut pool = self.pool.borrow_mut();
-        let bucket = pool.entry(v.len()).or_default();
-        if bucket.len() < SCRATCH_BUCKET_CAP {
+        let bucket = pool.entry(len).or_default();
+        let within_bytes = (bucket.len() + 1) * len * F32_BYTES <= SCRATCH_BUCKET_BYTE_CAP;
+        if bucket.len() < SCRATCH_BUCKET_CAP && (bucket.is_empty() || within_bytes) {
             bucket.push(v);
+            let bytes = self.bytes.get() + len * F32_BYTES;
+            self.bytes.set(bytes);
+            if bytes > self.high_water.get() {
+                self.high_water.set(bytes);
+                // Process-wide high-water mark across all tapes: only
+                // ratcheted upward, so concurrent arenas never regress it.
+                let gauge = ntt_obs::gauge!("tensor.tape_arena_bytes");
+                if bytes as f64 > gauge.get() {
+                    gauge.set(bytes as f64);
+                }
+            }
         }
     }
 
     fn buffered(&self) -> usize {
         self.pool.borrow().values().map(Vec::len).sum()
+    }
+
+    /// `(buffer length, pooled count)` per bucket, ascending length.
+    fn bucket_lens(&self) -> Vec<(usize, usize)> {
+        let mut lens: Vec<(usize, usize)> = self
+            .pool
+            .borrow()
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(&len, b)| (len, b.len()))
+            .collect();
+        lens.sort_unstable();
+        lens
     }
 }
 
@@ -185,6 +250,18 @@ enum Op {
     AttnContext {
         attn: usize,
         v: usize,
+    },
+    /// Fused streaming-softmax attention: `softmax(scale·Q·Kᵀ)·V` per
+    /// head, `[B, T, H, dh]` in and out, never materializing the
+    /// `[B, H, T, T]` scores. `stats` saves the per-row `(max, sum)`
+    /// softmax statistics (`[B, H, T, 2]`) so the backward can
+    /// recompute probability tiles bit-exactly.
+    AttnFused {
+        q: usize,
+        k: usize,
+        v: usize,
+        scale: f32,
+        stats: Vec<f32>,
     },
     LayerNorm {
         x: usize,
@@ -236,7 +313,7 @@ pub struct Tape {
     /// Retired-buffer pool backing every tape allocation.
     scratch: Scratch,
     /// Whether ops record backward metadata. `false` = inference mode:
-    /// identical forward kernels, no graph, `backward*` panics.
+    /// no graph, no backward-only tensors, `backward*` panics.
     grad: bool,
 }
 
@@ -381,8 +458,9 @@ impl TapePool {
         }
     }
 
-    /// Pool of grad-free tapes ([`Tape::inference`]): identical forward
-    /// kernels, bit-identical values, no graph and no grad slots.
+    /// Pool of grad-free tapes ([`Tape::inference`]): no graph, no grad
+    /// slots, and model code may pick cheaper inference-only ops (fused
+    /// attention) — see the module-level "Inference mode" section.
     pub fn inference() -> Self {
         TapePool {
             tapes: Mutex::new(Vec::new()),
@@ -444,9 +522,10 @@ impl Tape {
         }
     }
 
-    /// Fresh **inference** tape: the same forward kernels (bit-identical
-    /// values), no backward graph. See the module-level "Inference mode"
-    /// section. The mode is a property of the tape, not of a call —
+    /// Fresh **inference** tape: no backward graph, and model code may
+    /// route through cheaper inference-only ops (fused attention). See
+    /// the module-level "Inference mode" section for the exact value
+    /// contract. The mode is a property of the tape, not of a call —
     /// `reset` keeps it, so pooled inference tapes stay inference tapes.
     pub fn inference() -> Self {
         Self::inference_with_seed(NEXT_TAPE_SEED.fetch_add(1, Ordering::Relaxed))
@@ -483,6 +562,7 @@ impl Tape {
                 Op::MulConst(_, mask) => self.scratch.put(mask.into_data()),
                 Op::LayerNorm { xhat, .. } => self.scratch.put(xhat.into_data()),
                 Op::MseLoss { target, .. } => self.scratch.put(target.into_data()),
+                Op::AttnFused { stats, .. } => self.scratch.put(stats),
                 _ => {}
             }
         }
@@ -493,6 +573,27 @@ impl Tape {
     /// (diagnostic; useful for asserting reuse in tests).
     pub fn scratch_buffers(&self) -> usize {
         self.scratch.buffered()
+    }
+
+    /// Bytes currently pooled in the scratch arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.scratch.bytes.get()
+    }
+
+    /// Lifetime high-water mark of pooled arena bytes for this tape.
+    /// The process-wide maximum across all tapes is exported through the
+    /// `tensor.tape_arena_bytes` gauge.
+    pub fn arena_high_water_bytes(&self) -> usize {
+        self.scratch.high_water.get()
+    }
+
+    /// `(buffer length, pooled count)` per arena bucket, ascending
+    /// length. After a [`Tape::reset`], every buffer the previous run
+    /// allocated through the tape shows up here — which lets tests
+    /// assert that a code path never allocated a given shape (e.g. that
+    /// the fused attention path retired no `[B, H, T, T]` score buffer).
+    pub fn arena_bucket_lens(&self) -> Vec<(usize, usize)> {
+        self.scratch.bucket_lens()
     }
 
     /// Next value of the tape-local SplitMix64 stream. Deterministic in
@@ -579,6 +680,7 @@ impl Tape {
             Op::MulConst(_, saved) => self.recycle(saved),
             Op::LayerNorm { xhat, .. } => self.recycle(xhat),
             Op::MseLoss { target, .. } => self.recycle(target),
+            Op::AttnFused { stats, .. } => self.scratch.put(stats),
             _ => {}
         }
         Op::Leaf
@@ -820,6 +922,45 @@ impl Tape {
                 let mut gv = self.alloc_zeroed(vv.numel());
                 kernels::attn_context_t(vw.data(), g.data(), &mut gv, b, t, h, dh);
                 add_grad(grads, *attn, Tensor::from_vec(gw, vw.shape()));
+                add_grad(grads, *v, Tensor::from_vec(gv, s));
+            }
+            Op::AttnFused {
+                q,
+                k,
+                v,
+                scale,
+                stats,
+            } => {
+                let vq = &nodes[*q].value;
+                let vk = &nodes[*k].value;
+                let vv = &nodes[*v].value;
+                let o = &nodes[id].value;
+                let s = vq.shape();
+                let (b, t, h, dh) = (s[0], s[1], s[2], s[3]);
+                // One pass recomputes score tiles from the saved stats
+                // and accumulates all three gradients — still nothing
+                // [B, H, T, T]-sized.
+                let mut gq = self.alloc_zeroed(vq.numel());
+                let mut gk = self.alloc_zeroed(vk.numel());
+                let mut gv = self.alloc_zeroed(vv.numel());
+                kernels::attn_fused_bwd(
+                    vq.data(),
+                    vk.data(),
+                    vv.data(),
+                    g.data(),
+                    o.data(),
+                    stats,
+                    *scale,
+                    &mut gq,
+                    &mut gk,
+                    &mut gv,
+                    b,
+                    t,
+                    h,
+                    dh,
+                );
+                add_grad(grads, *q, Tensor::from_vec(gq, s));
+                add_grad(grads, *k, Tensor::from_vec(gk, s));
                 add_grad(grads, *v, Tensor::from_vec(gv, s));
             }
             Op::LayerNorm {
@@ -1219,6 +1360,78 @@ impl<'t> Var<'t> {
             },
             out,
         )
+    }
+
+    /// Fused streaming-softmax attention (flash-attention style):
+    /// `softmax(scale · Q·Kᵀ) · V` per head, where `self`, `k`, and `v`
+    /// are all `[B, T, H, dh]` and the result comes back in the same
+    /// layout. Unlike the `attn_scores → scaled_softmax_last →
+    /// attn_context` chain this never materializes the `[B, H, T, T]`
+    /// score matrix — on recording tapes it saves only the `[B, H, T, 2]`
+    /// per-row softmax stats, and on inference tapes nothing at all.
+    ///
+    /// Values are bit-identical across thread counts, batch
+    /// compositions, and runs, but only epsilon-close to the classic
+    /// chain: the online softmax evaluates the same math in a different
+    /// IEEE order (running max with rescaled partial sums instead of a
+    /// two-pass max-then-sum), so exact bit-equality with the unfused
+    /// path is deliberately not claimed.
+    pub fn attn_fused(self, k: Var<'t>, v: Var<'t>, scale: f32) -> Var<'t> {
+        let (out, stats) = {
+            let vq = self.tape.val(self.id);
+            let vk = self.tape.val(k.id);
+            let vv = self.tape.val(v.id);
+            assert_eq!(vq.rank(), 4, "attn_fused expects [B, T, H, dh]");
+            assert_eq!(
+                vq.shape(),
+                vk.shape(),
+                "attn_fused operands must agree: {:?} vs {:?}",
+                vq.shape(),
+                vk.shape()
+            );
+            assert_eq!(
+                vq.shape(),
+                vv.shape(),
+                "attn_fused operands must agree: {:?} vs {:?}",
+                vq.shape(),
+                vv.shape()
+            );
+            let s = vq.shape();
+            let (b, t, h, dh) = (s[0], s[1], s[2], s[3]);
+            let mut out = self.tape.alloc_overwrite(b * t * h * dh);
+            // Inference tapes skip the stats entirely: the fused
+            // forward is then allocation-free beyond the output itself.
+            let mut stats = self.tape.grad.then(|| {
+                self.tape
+                    .alloc_overwrite(b * h * t * kernels::FUSED_STATS_PER_ROW)
+            });
+            kernels::attn_fused_fwd(
+                vq.data(),
+                vk.data(),
+                vv.data(),
+                scale,
+                &mut out,
+                stats.as_deref_mut(),
+                b,
+                t,
+                h,
+                dh,
+            );
+            (Tensor::from_vec(out, s), stats)
+        };
+        match stats {
+            Some(stats) => self.tape.push(
+                Op::AttnFused {
+                    q: self.id,
+                    k: k.id,
+                    v: v.id,
+                    scale,
+                    stats,
+                },
+                out,
+            ),
+            None => self.tape.push(Op::Leaf, out),
+        }
     }
 
     /// Fused layer normalization over the last axis with affine
@@ -1894,6 +2107,174 @@ mod tests {
             inferred < recorded,
             "inference should retire fewer buffers ({inferred} vs {recorded})"
         );
+    }
+
+    #[test]
+    fn attn_fused_matches_classic_chain_values_and_grads() {
+        // The fused op must agree with the three-op chain to epsilon —
+        // values and all three input gradients. (Bit-equality is not
+        // claimed: the online softmax reorders the IEEE sequence.)
+        let (b, t, h, dh) = (2usize, 17, 2, 5);
+        let d = h * dh;
+        let q = Param::new("q", Tensor::randn(&[b, t, h, dh], 1));
+        let k = Param::new("k", Tensor::randn(&[b, t, h, dh], 2));
+        let v = Param::new("v", Tensor::randn(&[b, t, h, dh], 3));
+        let target = Tensor::randn(&[b, t, d], 4);
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let run = |fused: bool| {
+            for p in [&q, &k, &v] {
+                p.zero_grad();
+            }
+            let tape = Tape::new();
+            let (qv, kv, vv) = (tape.param(&q), tape.param(&k), tape.param(&v));
+            let ctx = if fused {
+                qv.attn_fused(kv, vv, scale)
+            } else {
+                qv.attn_scores(kv)
+                    .scaled_softmax_last(scale)
+                    .attn_context(vv)
+            };
+            let loss = ctx.reshape(&[b, t, d]).mse_loss(&target);
+            tape.backward(loss);
+            (
+                ctx.value(),
+                loss.value().item(),
+                q.grad(),
+                k.grad(),
+                v.grad(),
+            )
+        };
+        let fused = run(true);
+        let classic = run(false);
+        assert!(fused.0.allclose(&classic.0, 1e-5), "forward diverged");
+        assert!((fused.1 - classic.1).abs() < 1e-5, "loss diverged");
+        assert!(fused.2.allclose(&classic.2, 1e-4), "dQ diverged");
+        assert!(fused.3.allclose(&classic.3, 1e-4), "dK diverged");
+        assert!(fused.4.allclose(&classic.4, 1e-4), "dV diverged");
+    }
+
+    #[test]
+    fn attn_fused_grad_check() {
+        // Finite-difference ground truth for the recompute-on-the-fly
+        // backward, for each of the three operands.
+        let (b, t, h, dh) = (2usize, 5, 2, 3);
+        let q = Param::new("q", Tensor::randn(&[b, t, h, dh], 41));
+        let k = Param::new("k", Tensor::randn(&[b, t, h, dh], 42));
+        let v = Param::new("v", Tensor::randn(&[b, t, h, dh], 43));
+        let target = Tensor::randn(&[b, t, h, dh], 44);
+        let scale = 1.0 / (dh as f32).sqrt();
+        for p in [&q, &k, &v] {
+            let f = crate::grad_check::loss_fn(|tape: &Tape| {
+                tape.param(&q)
+                    .attn_fused(tape.param(&k), tape.param(&v), scale)
+                    .mse_loss(&target)
+            });
+            let report = crate::grad_check::check_param_grad(p, 1e-2, f);
+            assert!(
+                report.passes(2e-2),
+                "attn_fused grad check failed for {}: {report:?}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn attn_fused_inference_tape_allocates_no_score_matrix() {
+        // The zero-score-allocation claim, asserted through the arena:
+        // after a reset retires every tape-allocated buffer, no bucket
+        // may hold a [B,H,T,T]- or [B,T,T]-sized buffer. Shape chosen so
+        // those lengths collide with nothing legitimate (t > h*dh).
+        let (b, t, h, dh) = (2usize, 19, 2, 4);
+        let q = Tensor::randn(&[b, t, h, dh], 51);
+        let k = Tensor::randn(&[b, t, h, dh], 52);
+        let v = Tensor::randn(&[b, t, h, dh], 53);
+        let run = |mut tape: Tape| {
+            let ctx =
+                tape.input(q.clone())
+                    .attn_fused(tape.input(k.clone()), tape.input(v.clone()), 0.5);
+            let val = ctx.value();
+            tape.reset(0);
+            (val, tape.arena_bucket_lens())
+        };
+        let (iv, infer_buckets) = run(Tape::inference_with_seed(7));
+        let (rv, record_buckets) = run(Tape::with_seed(7));
+        assert_eq!(iv, rv, "fused forward must not depend on the tape mode");
+        let forbidden = [b * h * t * t, b * t * t, h * t * t, t * t];
+        for (len, _) in &infer_buckets {
+            assert!(
+                !forbidden.contains(len),
+                "inference fused path retired a score-matrix-sized buffer ({len})"
+            );
+        }
+        for (len, _) in &record_buckets {
+            assert!(
+                !forbidden.contains(len),
+                "recording fused path retired a score-matrix-sized buffer ({len})"
+            );
+        }
+        // Recording tapes additionally retire the [B,H,T,2] stats...
+        let stats_len = b * h * t * kernels::FUSED_STATS_PER_ROW;
+        assert!(
+            record_buckets.iter().any(|&(len, _)| len == stats_len),
+            "recording tape should have retired the softmax stats"
+        );
+        // ...which the inference tape never allocates.
+        assert!(
+            !infer_buckets.iter().any(|&(len, _)| len == stats_len),
+            "inference tape must not allocate softmax stats"
+        );
+    }
+
+    #[test]
+    fn attn_fused_reset_reproduces_bits() {
+        let (b, t, h, dh) = (3usize, 13, 2, 6);
+        let q = Tensor::randn(&[b, t, h, dh], 61);
+        let k = Tensor::randn(&[b, t, h, dh], 62);
+        let v = Tensor::randn(&[b, t, h, dh], 63);
+        let mut tape = Tape::inference_with_seed(1);
+        let run = |tape: &Tape| {
+            tape.input(q.clone())
+                .attn_fused(tape.input(k.clone()), tape.input(v.clone()), 0.25)
+                .value()
+        };
+        let first = run(&tape);
+        tape.reset(1);
+        assert_eq!(first, run(&tape), "reset fused tape must reproduce bits");
+    }
+
+    #[test]
+    fn arena_tracks_bytes_and_caps_buckets() {
+        let s = Scratch::default();
+        assert_eq!(s.bytes.get(), 0);
+        // Retire more giant buffers than the byte cap admits: the
+        // bucket must stop absorbing them while always keeping >= 1.
+        let giant = SCRATCH_BUCKET_BYTE_CAP / F32_BYTES / 2 - 1; // 2 fit, 3 would not
+        for _ in 0..5 {
+            s.put(vec![0.0; giant]);
+        }
+        let kept = s.bucket_lens();
+        assert_eq!(kept, vec![(giant, 2)], "byte cap must bound the bucket");
+        assert_eq!(s.bytes.get(), 2 * giant * F32_BYTES);
+        assert_eq!(s.high_water.get(), 2 * giant * F32_BYTES);
+        // A buffer larger than the whole cap is still kept (once).
+        let colossal = SCRATCH_BUCKET_BYTE_CAP / F32_BYTES + 7;
+        s.put(vec![0.0; colossal]);
+        s.put(vec![0.0; colossal]);
+        assert!(
+            s.bucket_lens().contains(&(colossal, 1)),
+            "every bucket keeps at least one buffer"
+        );
+        // Taking releases the byte accounting; high-water stays.
+        let hw = s.high_water.get();
+        let _ = s.take_overwrite(colossal);
+        assert_eq!(s.bytes.get(), 2 * giant * F32_BYTES);
+        assert_eq!(s.high_water.get(), hw);
+        // Small buffers still hit the count cap first.
+        for _ in 0..SCRATCH_BUCKET_CAP + 9 {
+            s.put(vec![0.0; 8]);
+        }
+        assert!(s.bucket_lens().contains(&(8, SCRATCH_BUCKET_CAP)));
     }
 
     #[test]

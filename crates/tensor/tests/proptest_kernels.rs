@@ -14,6 +14,33 @@ const DIMS: [usize; 14] = [0, 1, 2, 3, 5, 7, 13, 15, 16, 17, 31, 64, 67, 130];
 /// Depth menu including sizes beyond KC so k-blocking is exercised.
 const KDIMS: [usize; 12] = [0, 1, 2, 3, 5, 13, 17, 63, 64, 65, 257, 300];
 
+/// Sequence lengths straddling the fused tile edges: 1, primes, the
+/// key-panel width NR=16 ± 1, the MR=4 row-tile edge, and the encoder's
+/// 48-slot shape.
+const TDIMS: [usize; 10] = [1, 2, 3, 5, 13, 15, 16, 17, 31, 48];
+
+/// The unfused three-kernel chain (scores → scaled softmax → context);
+/// returns (context, softmax weights) for backward composition.
+#[allow(clippy::too_many_arguments)]
+fn classic_attention(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    scale: f32,
+    b: usize,
+    t: usize,
+    h: usize,
+    dh: usize,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut scores = vec![0.0; b * h * t * t];
+    kernels::attn_scores(q, k, &mut scores, b, t, h, dh);
+    let mut weights = vec![0.0; b * h * t * t];
+    kernels::scaled_softmax_fwd(&scores, scale, t, &mut weights);
+    let mut ctx = vec![0.0; b * t * h * dh];
+    kernels::attn_context(&weights, v, &mut ctx, b, t, h, dh);
+    (ctx, weights)
+}
+
 fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
     if n == 0 {
         Vec::new()
@@ -135,6 +162,53 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fused_attention_matches_classic_composition(b in 1usize..4, ti in 0usize..TDIMS.len(), h in 1usize..4, dhi in 0usize..5, scale in 0.1f32..2.0, seed in 0u64..500) {
+        // The fused streaming-softmax tile vs the unfused three-kernel
+        // chain on the same strided [B, T, H, dh] views. Equality is
+        // within epsilon, never bitwise: the online softmax reorders
+        // the IEEE reduction (that caveat is the documented contract).
+        let t = TDIMS[ti];
+        let dh = [1usize, 2, 5, 7, 16][dhi];
+        let q = rand_vec(b * t * h * dh, seed);
+        let k = rand_vec(b * t * h * dh, seed ^ 21);
+        let v = rand_vec(b * t * h * dh, seed ^ 22);
+
+        let (want, weights) = classic_attention(&q, &k, &v, scale, b, t, h, dh);
+        let mut got = vec![0.0; b * t * h * dh];
+        let mut stats = vec![0.0; b * h * t * kernels::FUSED_STATS_PER_ROW];
+        kernels::attn_fused_fwd(&q, &k, &v, scale, &mut got, Some(&mut stats), b, t, h, dh);
+        assert_close(&got, &want, t + dh, "fused_fwd")?;
+        for pair in stats.chunks(2) {
+            prop_assert!(pair[0].is_finite() && pair[1] >= 1.0, "bad stats {pair:?}");
+        }
+
+        // Backward: fused recompute vs grads composed from the classic
+        // chain's kernels.
+        let g = rand_vec(b * t * h * dh, seed ^ 23);
+        let (mut gq, mut gk, mut gv) = (
+            vec![0.0; b * t * h * dh],
+            vec![0.0; b * t * h * dh],
+            vec![0.0; b * t * h * dh],
+        );
+        kernels::attn_fused_bwd(
+            &q, &k, &v, &g, &got, &stats, scale, &mut gq, &mut gk, &mut gv, b, t, h, dh,
+        );
+        let mut gv_want = vec![0.0; b * t * h * dh];
+        kernels::attn_context_t(&weights, &g, &mut gv_want, b, t, h, dh);
+        let mut gw = vec![0.0; b * h * t * t];
+        kernels::attn_scores(&g, &v, &mut gw, b, t, h, dh);
+        let mut gs = vec![0.0; b * h * t * t];
+        kernels::softmax_bwd(&weights, &gw, scale, t, &mut gs);
+        let mut gq_want = vec![0.0; b * t * h * dh];
+        kernels::attn_context(&gs, &k, &mut gq_want, b, t, h, dh);
+        let mut gk_want = vec![0.0; b * t * h * dh];
+        kernels::attn_context_t(&gs, &q, &mut gk_want, b, t, h, dh);
+        assert_close(&gq, &gq_want, t + dh, "fused_gq")?;
+        assert_close(&gk, &gk_want, t + dh, "fused_gk")?;
+        assert_close(&gv, &gv_want, t + dh, "fused_gv")?;
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Execution-mode correctness: the grad-free inference path must be a
 //! *mode* of the same engine, not a second implementation. Inference
-//! forwards are bit-identical to recording-tape forwards (dropout
-//! disabled), for every head, at every worker count — and the
-//! evaluation loops, now grad-free, reproduce exactly the values the
-//! recording-tape implementation produced.
+//! tapes route attention through the fused streaming-softmax tile, so
+//! inference forwards agree with recording-tape forwards to within
+//! epsilon (the online softmax reorders the IEEE reduction; bitwise
+//! cross-mode equality is explicitly not claimed) while staying fully
+//! deterministic *within* the mode: bit-identical across runs, seeds,
+//! worker counts, and batch compositions. The evaluation loops and the
+//! serving engine must both reproduce a hand-wired inference tape to
+//! the bit.
 
 use ntt::core::{
     evaluate, Aggregation, DelayHead, DropHead, HeadTask, MctHead, Ntt, NttConfig, ParStrategy,
@@ -28,10 +32,12 @@ fn tiny_model(dropout: f32) -> Ntt {
 }
 
 #[test]
-fn inference_forward_is_bit_identical_for_all_heads() {
-    // Dropout present in the config but disabled (eval mode): the
-    // inference tape must reproduce the recording tape bit for bit —
-    // the acceptance gate for replacing evaluation's execution path.
+fn inference_forward_is_deterministic_and_close_to_recording() {
+    // Dropout present in the config but disabled (eval mode). The
+    // inference tape runs fused attention, so it agrees with the
+    // recording tape to within epsilon — and must reproduce *itself*
+    // bit for bit regardless of tape seed, since nothing stochastic
+    // runs in eval mode.
     let ntt = tiny_model(0.2);
     ntt.set_training(false);
     let heads: Vec<Box<dyn Head>> = vec![
@@ -50,16 +56,22 @@ fn inference_forward_is_bit_identical_for_all_heads() {
         let recorded = run_on(&Tape::with_seed(4));
         let inferred = run_on(&Tape::inference_with_seed(4));
         assert_eq!(
-            recorded.data().len(),
-            inferred.data().len(),
+            recorded.shape(),
+            inferred.shape(),
             "{}: shape diverged",
             head.kind()
         );
-        for (a, b) in recorded.data().iter().zip(inferred.data()) {
+        assert!(
+            inferred.allclose(&recorded, 1e-4),
+            "{}: inference forward drifted from recording forward",
+            head.kind()
+        );
+        let replay = run_on(&Tape::inference_with_seed(77));
+        for (a, b) in inferred.data().iter().zip(replay.data()) {
             assert_eq!(
                 a.to_bits(),
                 b.to_bits(),
-                "{}: inference forward diverged from recording forward",
+                "{}: inference forward is not reproducible",
                 head.kind()
             );
         }
@@ -78,12 +90,12 @@ fn tiny_dataset(seq_len: usize) -> (DelayDataset, DelayDataset) {
 }
 
 #[test]
-fn grad_free_evaluate_reproduces_the_recording_tape_values() {
-    // Pre-PR, `evaluate` ran every batch on a recording tape (building
-    // the whole backward graph it never used). Recompute that reference
-    // by hand — same batch partitioning, same reduction order, recording
-    // tapes — and require the grad-free evaluate to match to the bit,
-    // sequentially and fanned out over 4 workers.
+fn grad_free_evaluate_is_reproducible_and_close_to_recording() {
+    // Recompute `evaluate`'s result by hand — same batch partitioning,
+    // same reduction order — on hand-wired inference tapes, and require
+    // the grad-free evaluate to match to the bit, sequentially and
+    // fanned out over 4 workers. A recording-tape replay of the same
+    // loop (classic attention chain) must land within epsilon.
     let ntt = tiny_model(0.1);
     let head = DelayHead::new(16, 5);
     let (train, test) = tiny_dataset(ntt.cfg.seq_len());
@@ -92,14 +104,22 @@ fn grad_free_evaluate_reproduces_the_recording_tape_values() {
     let batch_size = 16;
 
     ntt.set_training(false);
-    let (mut se, mut n) = (0.0f64, 0usize);
-    for batch in BatchIter::new(task.len(), batch_size, 0, false) {
-        let tape = Tape::new(); // the old evaluation path: full recording
-        let mse = task.batch_loss(&tape, &ntt, &batch);
-        se += mse.value().item() as f64 * batch.len() as f64;
-        n += batch.len();
-    }
-    let reference = se / n as f64;
+    let loop_mse = |mk_tape: fn() -> Tape| {
+        let (mut se, mut n) = (0.0f64, 0usize);
+        for batch in BatchIter::new(task.len(), batch_size, 0, false) {
+            let tape = mk_tape();
+            let mse = task.batch_loss(&tape, &ntt, &batch);
+            se += mse.value().item() as f64 * batch.len() as f64;
+            n += batch.len();
+        }
+        se / n as f64
+    };
+    let reference = loop_mse(Tape::inference);
+    let classic = loop_mse(Tape::new);
+    assert!(
+        (reference - classic).abs() <= 1e-4 * classic.abs().max(1.0),
+        "fused evaluate drifted from the classic chain: {reference} vs {classic}"
+    );
 
     for threads in [1usize, 4] {
         let report = evaluate(&ntt, &task, batch_size, &ParStrategy::with_threads(threads));
@@ -124,10 +144,16 @@ fn serving_engine_agrees_with_evaluate() {
     let idx: Vec<usize> = (0..train.len().min(8)).collect();
     let (x, y) = train.batch(&idx);
 
-    // Reference squared error through a recording tape.
-    let tape = Tape::new();
+    // Bit-exact reference through a hand-wired inference tape (the
+    // same fused-attention path evaluate and the engine both run) and
+    // an epsilon reference through a recording tape's classic chain.
+    let infer = Tape::inference();
     let pred_ref = head
-        .forward_head(&tape, ntt.forward(&tape, tape.input(x.clone())), None)
+        .forward_head(&infer, ntt.forward(&infer, infer.input(x.clone())), None)
+        .value();
+    let rec = Tape::new();
+    let pred_classic = head
+        .forward_head(&rec, ntt.forward(&rec, rec.input(x.clone())), None)
         .value();
 
     let engine = InferenceEngine::from_parts(
@@ -140,5 +166,6 @@ fn serving_engine_agrees_with_evaluate() {
     for (a, b) in served.data().iter().zip(pred_ref.data()) {
         assert_eq!(a.to_bits(), b.to_bits());
     }
+    assert!(served.allclose(&pred_classic, 1e-4));
     assert_eq!(y.shape(), &[idx.len(), 1]);
 }
