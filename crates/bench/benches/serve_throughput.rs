@@ -114,12 +114,12 @@ fn serve_single(engine: &Arc<InferenceEngine>, pool: &Tensor, n: usize) -> f64 {
     );
     for i in 0..16 {
         let w = pool.data()[(i % 64) * row..((i % 64) + 1) * row].to_vec();
-        batcher.submit(w, None).wait(); // warmup
+        batcher.submit(w, None).unwrap().wait().unwrap(); // warmup
     }
     let t = Instant::now();
     for i in 0..n {
         let w = pool.data()[(i % 64) * row..((i % 64) + 1) * row].to_vec();
-        batcher.submit(w, None).wait();
+        batcher.submit(w, None).unwrap().wait().unwrap();
     }
     n as f64 / t.elapsed().as_secs_f64()
 }
@@ -152,7 +152,7 @@ fn serve_concurrent(
                 for i in 0..per {
                     let j = (sid * per + i) % 64;
                     let w = pool.data()[j * row..(j + 1) * row].to_vec();
-                    batcher.submit(w, None).wait();
+                    batcher.submit(w, None).unwrap().wait().unwrap();
                 }
             });
         }

@@ -42,7 +42,7 @@ use crate::model::{build_head, Ntt};
 use ntt_data::{FeatureMask, Normalizer};
 use ntt_nn::{Head, Module};
 use ntt_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
@@ -152,7 +152,7 @@ fn push_string(out: &mut Vec<u8>, s: &str) -> io::Result<()> {
 
 fn write_params(out: &mut Vec<u8>, params: &[(String, Tensor)]) -> io::Result<()> {
     {
-        let mut seen = HashMap::new();
+        let mut seen = BTreeMap::new();
         for (name, _) in params {
             if seen.insert(name.clone(), ()).is_some() {
                 return Err(bad_input(format!("duplicate parameter name {name:?}")));
@@ -180,7 +180,7 @@ fn write_params(out: &mut Vec<u8>, params: &[(String, Tensor)]) -> io::Result<()
 fn read_params(r: &mut Reader) -> io::Result<Vec<(String, Tensor)>> {
     let count = r.u32()? as usize;
     let mut out: Vec<(String, Tensor)> = Vec::new();
-    let mut seen = HashMap::new();
+    let mut seen = BTreeMap::new();
     for _ in 0..count {
         let name = r.string()?;
         if seen.insert(name.clone(), ()).is_some() {
@@ -371,7 +371,7 @@ impl Checkpoint {
         }
         let params = collect_params(&modules);
         {
-            let mut seen = HashMap::new();
+            let mut seen = BTreeMap::new();
             for (name, _) in &params {
                 if seen.insert(name.clone(), ()).is_some() {
                     return Err(bad_input(format!(
@@ -516,7 +516,7 @@ impl Checkpoint {
             })?;
             heads.push(head);
         }
-        let mut stored: HashMap<&str, &Tensor> =
+        let mut stored: BTreeMap<&str, &Tensor> =
             self.params.iter().map(|(n, t)| (n.as_str(), t)).collect();
         let mut fill = |m: &dyn Module| -> io::Result<()> {
             for p in m.params() {
@@ -584,7 +584,7 @@ pub fn save(path: impl AsRef<Path>, modules: &[&dyn Module]) -> io::Result<()> {
 }
 
 /// Read a checkpoint (either version) into `name -> Tensor`.
-pub fn read_all(path: impl AsRef<Path>) -> io::Result<HashMap<String, Tensor>> {
+pub fn read_all(path: impl AsRef<Path>) -> io::Result<BTreeMap<String, Tensor>> {
     let bytes = std::fs::read(&path)?;
     let params = if bytes.len() >= 8 && &bytes[..8] == MAGIC_V1 {
         let mut r = Reader::new(&bytes[8..]);

@@ -12,7 +12,7 @@
 
 use ntt_nn::Module;
 use ntt_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Average the parameters of `models` (uniform weights) and write the
 /// result into every one of them, name-matched.
@@ -32,7 +32,7 @@ pub fn weighted_average_params(models: &[&dyn Module], weights: &[f64]) {
     assert!(total > 0.0, "weights must sum to a positive value");
 
     // Accumulate name -> weighted sum.
-    let mut acc: HashMap<String, Tensor> = HashMap::new();
+    let mut acc: BTreeMap<String, Tensor> = BTreeMap::new();
     let reference: Vec<String> = models[0].params().iter().map(|p| p.name()).collect();
     for (m, &w) in models.iter().zip(weights) {
         let params = m.params();

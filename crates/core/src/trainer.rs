@@ -34,7 +34,7 @@ use ntt_nn::{clip_param_grads, Adam, LrSchedule, Module};
 use ntt_tensor::{kernels, splitmix64, Param, ParamGrads, TapePool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which parameters fine-tuning updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -316,7 +316,9 @@ pub fn train(ntt: &Ntt, task: &dyn Task, cfg: &TrainConfig, mode: TrainMode) -> 
         mode,
     );
     ntt.set_training(true);
-    let start = Instant::now();
+    // Wall clock through the audited obs seam (lint R3): the timing is
+    // a write-only report field, it never feeds back into training.
+    let start = ntt_obs::Stopwatch::start();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut grad_norms = Vec::with_capacity(cfg.epochs);
     let mut steps = 0usize;

@@ -19,7 +19,7 @@ use ntt_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One packet as the model sees it (receiver-side observation).
@@ -82,7 +82,7 @@ impl RunData {
             })
             .collect();
         // First-arrival index per (flow, msg) for MCT anchoring.
-        let mut first: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut first: BTreeMap<(usize, u64), usize> = BTreeMap::new();
         for (i, p) in tr.packets.iter().enumerate() {
             first.entry((p.flow, p.msg_id)).or_insert(i);
         }

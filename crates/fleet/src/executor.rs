@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Executor settings.
 #[derive(Debug, Clone, Copy, Default)]
@@ -214,7 +214,9 @@ pub fn run_fleet(spec: &SweepSpec, cfg: &FleetConfig, sink: &mut dyn ShardSink) 
     let shards = spec.expand();
     let n = shards.len();
     let threads = cfg.resolve(n);
-    let started = Instant::now();
+    // Wall clock through the audited obs seam (lint R3): sweep timings
+    // are report output only, never an input to the sweep itself.
+    let started = ntt_obs::Stopwatch::start();
     let mut stats: Vec<Option<ShardStat>> = (0..n).map(|_| None).collect();
 
     let next = AtomicUsize::new(0);
@@ -251,7 +253,7 @@ pub fn run_fleet(spec: &SweepSpec, cfg: &FleetConfig, sink: &mut dyn ShardSink) 
                     }
                 }
                 let shard = shards[i];
-                let t0 = Instant::now();
+                let t0 = ntt_obs::Stopwatch::start();
                 let trace = run(shard.scenario, &shard.cfg);
                 if tx.send((i, trace, t0.elapsed())).is_err() {
                     break; // collector gone; nothing left to do

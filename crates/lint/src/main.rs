@@ -1,0 +1,105 @@
+//! CLI for `ntt-lint`.
+//!
+//! ```text
+//! cargo run -p ntt-lint --release -- --check [--root <path>] [--json <out.json>]
+//! ```
+//!
+//! Default root is the current directory (CI runs from the workspace
+//! root). Without `--check` the linter reports and always exits 0;
+//! with it, any unwaived finding — or any stale waiver — exits 1.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ntt_lint::{load_waivers, report, scan_workspace, waivers};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut check = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root requires a path"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json requires a path"),
+            },
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ntt-lint [--root <path>] [--check] [--json <out.json>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let findings = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ntt-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let waiver_list = match load_waivers(&root) {
+        Ok(w) => w,
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("ntt-lint: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let applied = waivers::apply(&findings, &waiver_list);
+
+    for f in &applied.unwaived {
+        println!("{}", report::human_line(f));
+    }
+    for f in &applied.waived {
+        println!("{} (waived)", report::human_line(f));
+    }
+    for w in &applied.unused {
+        println!(
+            "lint-waivers.txt:{}: stale waiver `{}:{}:{}` matches no finding",
+            w.src_line,
+            w.path,
+            w.line.map_or("*".to_string(), |l| l.to_string()),
+            w.rule
+        );
+    }
+
+    if let Some(path) = &json_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        let doc = report::json_report(&findings, &applied.waived);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("ntt-lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "ntt-lint: {} finding(s), {} unwaived, {} waived, {} stale waiver(s)",
+        findings.len(),
+        applied.unwaived.len(),
+        applied.waived.len(),
+        applied.unused.len()
+    );
+    if check && (!applied.unwaived.is_empty() || !applied.unused.is_empty()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ntt-lint: {msg}");
+    eprintln!("usage: ntt-lint [--root <path>] [--check] [--json <out.json>]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,100 @@
+//! Human-readable and JSON output for findings.
+//!
+//! The JSON writer is hand-rolled (the crate is dependency-free by
+//! contract); the schema is flat and stable so CI artifacts diff well:
+//!
+//! ```json
+//! {
+//!   "total": 3,
+//!   "unwaived": 1,
+//!   "findings": [
+//!     {"path": "...", "line": 7, "rule": "R2", "message": "...", "waived": false}
+//!   ]
+//! }
+//! ```
+
+use crate::rules::Finding;
+
+/// One rendered line: `path:line: [rule] message`.
+pub fn human_line(f: &Finding) -> String {
+    format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render all findings (waived and not) as a JSON document.
+pub fn json_report(findings: &[Finding], waived: &[&Finding]) -> String {
+    let is_waived = |f: &Finding| waived.iter().any(|w| std::ptr::eq(*w, f));
+    let unwaived = findings.iter().filter(|f| !is_waived(f)).count();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"total\": {},\n  \"unwaived\": {},\n  \"findings\": [",
+        findings.len(),
+        unwaived
+    ));
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"waived\": {}}}",
+            json_escape(&f.path),
+            f.line,
+            f.rule,
+            json_escape(&f.message),
+            is_waived(f)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32, rule: &'static str, msg: &str) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn human_line_format() {
+        let f = finding("a/b.rs", 7, "R2", "no HashMap");
+        assert_eq!(human_line(&f), "a/b.rs:7: [R2] no HashMap");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let fs = vec![
+            finding("a/b.rs", 1, "R1", "say \"why\""),
+            finding("a/c.rs", 2, "R4", "tab\there"),
+        ];
+        let waived: Vec<&Finding> = vec![&fs[1]];
+        let j = json_report(&fs, &waived);
+        assert!(j.contains("\"total\": 2"));
+        assert!(j.contains("\"unwaived\": 1"));
+        assert!(j.contains("say \\\"why\\\""));
+        assert!(j.contains("tab\\there"));
+        assert!(j.contains("\"waived\": true"));
+    }
+}

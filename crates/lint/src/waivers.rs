@@ -1,0 +1,207 @@
+//! Reviewed exceptions: `lint-waivers.txt` parsing and matching.
+//!
+//! Format, one waiver per line:
+//!
+//! ```text
+//! path:line:rule reason for the exception (mandatory)
+//! crates/serve/src/engine.rs:129:R6 poisoned-lock recovery, cannot return an error here
+//! crates/obs/src/export.rs:*:R3 whole-file waiver via line wildcard
+//! ```
+//!
+//! `#`-prefixed lines and blank lines are ignored. The reason is
+//! mandatory: a waiver without one is a parse error, because an
+//! exception nobody can explain is an exception nobody reviewed.
+//! Waivers that match no finding are reported too — stale waivers are
+//! how gates rot.
+
+use crate::rules::Finding;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub path: String,
+    /// `None` means `*`: any line in the file.
+    pub line: Option<u32>,
+    pub rule: String,
+    pub reason: String,
+    /// 1-based line in the waiver file itself (for error reporting).
+    pub src_line: u32,
+}
+
+/// Parse the waiver file. Returns parsed waivers or a list of
+/// human-readable parse errors (all of them, not just the first).
+pub fn parse(text: &str) -> Result<Vec<Waiver>, Vec<String>> {
+    let mut out = Vec::new();
+    let mut errs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (loc, reason) = match line.split_once(char::is_whitespace) {
+            Some((l, r)) => (l, r.trim()),
+            None => (line, ""),
+        };
+        if reason.is_empty() {
+            errs.push(format!(
+                "lint-waivers.txt:{lno}: waiver without a reason — every \
+                 exception must say why"
+            ));
+            continue;
+        }
+        // loc = path:line:rule, split from the right since paths may
+        // not contain ':' but we stay defensive anyway.
+        let mut parts = loc.rsplitn(3, ':');
+        let rule = parts.next().unwrap_or_default();
+        let line_part = parts.next().unwrap_or_default();
+        let path = parts.next().unwrap_or_default();
+        if path.is_empty() || !rule.starts_with('R') {
+            errs.push(format!(
+                "lint-waivers.txt:{lno}: expected `path:line:rule reason`, got `{line}`"
+            ));
+            continue;
+        }
+        let line_no = if line_part == "*" {
+            None
+        } else {
+            match line_part.parse::<u32>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    errs.push(format!(
+                        "lint-waivers.txt:{lno}: line must be a number or `*`, \
+                         got `{line_part}`"
+                    ));
+                    continue;
+                }
+            }
+        };
+        out.push(Waiver {
+            path: path.replace('\\', "/"),
+            line: line_no,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            src_line: lno,
+        });
+    }
+    if errs.is_empty() {
+        Ok(out)
+    } else {
+        Err(errs)
+    }
+}
+
+impl Waiver {
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.path == f.path && self.rule == f.rule && self.line.is_none_or(|l| l == f.line)
+    }
+}
+
+/// Split findings into (unwaived, waived) and report unused waivers.
+pub struct Applied<'a> {
+    pub unwaived: Vec<&'a Finding>,
+    pub waived: Vec<&'a Finding>,
+    pub unused: Vec<&'a Waiver>,
+}
+
+pub fn apply<'a>(findings: &'a [Finding], waivers: &'a [Waiver]) -> Applied<'a> {
+    let mut used = vec![false; waivers.len()];
+    let mut unwaived = Vec::new();
+    let mut waived = Vec::new();
+    for f in findings {
+        let mut hit = false;
+        for (wi, w) in waivers.iter().enumerate() {
+            if w.matches(f) {
+                used[wi] = true;
+                hit = true;
+            }
+        }
+        if hit {
+            waived.push(f);
+        } else {
+            unwaived.push(f);
+        }
+    }
+    let unused = waivers
+        .iter()
+        .zip(&used)
+        .filter_map(|(w, &u)| if u { None } else { Some(w) })
+        .collect();
+    Applied {
+        unwaived,
+        waived,
+        unused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32, rule: &'static str) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_waivers_and_comments() {
+        let w = parse(
+            "# header comment\n\n\
+             crates/serve/src/x.rs:12:R6 poisoned lock recovery\n\
+             crates/obs/src/y.rs:*:R3 whole file measures wall time\n",
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].line, Some(12));
+        assert_eq!(w[1].line, None);
+        assert_eq!(w[0].reason, "poisoned lock recovery");
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let errs = parse("crates/serve/src/x.rs:12:R6\n").unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("without a reason"));
+    }
+
+    #[test]
+    fn bad_line_number_is_an_error() {
+        let errs = parse("a/b.rs:twelve:R1 because\n").unwrap_err();
+        assert!(errs[0].contains("number or `*`"));
+    }
+
+    #[test]
+    fn matching_honors_path_line_rule_and_wildcard() {
+        let ws = parse(
+            "a/b.rs:10:R1 reason one\n\
+             a/b.rs:*:R3 reason two\n",
+        )
+        .unwrap();
+        let f1 = finding("a/b.rs", 10, "R1");
+        let f2 = finding("a/b.rs", 11, "R1");
+        let f3 = finding("a/b.rs", 99, "R3");
+        let f4 = finding("a/c.rs", 10, "R1");
+        assert!(ws[0].matches(&f1));
+        assert!(!ws[0].matches(&f2));
+        assert!(ws[1].matches(&f3));
+        assert!(!ws[0].matches(&f4));
+    }
+
+    #[test]
+    fn apply_reports_unused_waivers() {
+        let ws = parse(
+            "a/b.rs:10:R1 used\n\
+             a/b.rs:20:R2 stale\n",
+        )
+        .unwrap();
+        let fs = vec![finding("a/b.rs", 10, "R1"), finding("a/b.rs", 30, "R4")];
+        let applied = apply(&fs, &ws);
+        assert_eq!(applied.waived.len(), 1);
+        assert_eq!(applied.unwaived.len(), 1);
+        assert_eq!(applied.unused.len(), 1);
+        assert_eq!(applied.unused[0].line, Some(20));
+    }
+}

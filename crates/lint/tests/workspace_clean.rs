@@ -1,0 +1,128 @@
+//! The workspace-wide gate, as a test: `cargo test -p ntt-lint` fails
+//! the moment anyone introduces an unwaived violation, even before CI
+//! runs the `--check` binary.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+}
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let root = workspace_root();
+    let findings = ntt_lint::scan_workspace(root).expect("workspace scan");
+    let waivers = match ntt_lint::load_waivers(root) {
+        Ok(w) => w,
+        Err(errs) => panic!("lint-waivers.txt does not parse:\n{}", errs.join("\n")),
+    };
+    let applied = ntt_lint::waivers::apply(&findings, &waivers);
+    assert!(
+        applied.unwaived.is_empty(),
+        "unwaived lint findings:\n{}",
+        applied
+            .unwaived
+            .iter()
+            .map(|f| ntt_lint::report::human_line(f))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        applied.unused.is_empty(),
+        "stale waivers (match no finding): {:?}",
+        applied.unused
+    );
+}
+
+#[test]
+fn scan_covers_every_crate() {
+    // The gate is only as strong as its coverage: every workspace
+    // member under crates/ must contribute files to the scan, so a new
+    // crate cannot silently fall outside the lint's reach.
+    let root = workspace_root();
+    let files = ntt_lint::workspace_files(root).expect("workspace scan");
+    let mut crates: Vec<String> = std::fs::read_dir(root.join("crates"))
+        .expect("crates dir")
+        .filter_map(|e| {
+            let e = e.ok()?;
+            e.path()
+                .join("src")
+                .is_dir()
+                .then(|| e.file_name().to_string_lossy().into_owned())
+        })
+        .collect();
+    crates.sort();
+    assert!(!crates.is_empty());
+    for krate in &crates {
+        let prefix = format!("crates/{krate}/");
+        assert!(
+            files
+                .iter()
+                .any(|f| ntt_lint::display_path(f).starts_with(&prefix)),
+            "crate `{krate}` contributes no files to the lint scan"
+        );
+    }
+    // And the scan must stay out of the vendored crates.
+    assert!(files
+        .iter()
+        .all(|f| !ntt_lint::display_path(f).starts_with("vendor/")));
+}
+
+#[test]
+fn seeded_violations_are_detected_end_to_end() {
+    // One fixture exercising every rule at once, scanned through the
+    // same public API the binary uses — proves the wiring, not just the
+    // per-rule unit tests inside the crate.
+    // Note: no trailing comments on (or right above) the R5/R6 lines —
+    // any non-doc comment there would count as a justification.
+    let fixture = r#"
+use std::collections::HashMap;
+fn clock() -> std::time::Duration {
+    let t = std::time::Instant::now();
+    t.elapsed()
+}
+fn entropy() { let _ = thread_rng(); }
+
+#[allow(dead_code)]
+fn allowed() {}
+fn sync(a: &std::sync::atomic::AtomicUsize) {
+    a.load(std::sync::atomic::Ordering::SeqCst);
+}
+fn danger() { unsafe { std::hint::unreachable_unchecked() } }
+"#;
+    let findings = ntt_lint::scan_source("crates/core/src/fixture.rs", fixture);
+    let lines_of = |rule: &str| -> Vec<u32> {
+        findings
+            .iter()
+            .filter(|f| f.rule == rule)
+            .map(|f| f.line)
+            .collect()
+    };
+    assert_eq!(lines_of("R1"), vec![14]);
+    assert_eq!(lines_of("R2"), vec![2]);
+    assert_eq!(lines_of("R3"), vec![4]);
+    assert_eq!(lines_of("R4"), vec![7]);
+    assert_eq!(lines_of("R5"), vec![9, 12]);
+
+    // R6 needs a serve path.
+    let serve_fixture = "fn f(x: Option<u8>) { x.unwrap(); }";
+    let serve = ntt_lint::scan_source("crates/serve/src/fixture.rs", serve_fixture);
+    assert_eq!(serve.len(), 1);
+    assert_eq!(serve[0].rule, "R6");
+
+    // A wildcard waiver suppresses them; a stale one is reported.
+    let waivers = ntt_lint::waivers::parse(
+        "crates/core/src/fixture.rs:*:R2 fixture\n\
+         crates/core/src/fixture.rs:4:R3 fixture\n\
+         crates/core/src/fixture.rs:999:R1 stale waiver\n",
+    )
+    .expect("waivers parse");
+    let applied = ntt_lint::waivers::apply(&findings, &waivers);
+    assert_eq!(applied.waived.len(), 2);
+    assert_eq!(applied.unused.len(), 1);
+    assert_eq!(applied.unwaived.len(), findings.len() - 2);
+}

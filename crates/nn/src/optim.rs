@@ -1,7 +1,7 @@
 //! Optimizers, learning-rate schedules, and gradient clipping.
 
 use ntt_tensor::{Param, ParamGrads, Tensor};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Learning-rate schedule, evaluated per optimizer step.
 #[derive(Debug, Clone, Copy)]
@@ -101,7 +101,7 @@ pub struct Adam {
     eps: f32,
     weight_decay: f32,
     step: usize,
-    state: HashMap<usize, (Tensor, Tensor)>,
+    state: BTreeMap<usize, (Tensor, Tensor)>,
 }
 
 impl Adam {
@@ -115,7 +115,7 @@ impl Adam {
             eps: 1e-8,
             weight_decay: 0.0,
             step: 0,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
         }
     }
 
@@ -217,7 +217,7 @@ struct AdamHyper {
 /// Moment update + parameter write for one `(param, grad)` pair;
 /// `sched` is `(lr, bias correction 1, bias correction 2)`.
 fn adam_apply(
-    state: &mut HashMap<usize, (Tensor, Tensor)>,
+    state: &mut BTreeMap<usize, (Tensor, Tensor)>,
     h: AdamHyper,
     p: &Param,
     g: &Tensor,
@@ -251,7 +251,7 @@ pub struct Sgd {
     params: Vec<Param>,
     schedule: LrSchedule,
     momentum: f32,
-    velocity: HashMap<usize, Tensor>,
+    velocity: BTreeMap<usize, Tensor>,
     step: usize,
 }
 
@@ -261,7 +261,7 @@ impl Sgd {
             params,
             schedule,
             momentum,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
             step: 0,
         }
     }

@@ -1,0 +1,55 @@
+//! The workspace's audited wall-clock seam.
+//!
+//! The deterministic crates (tensor, nn, core, fleet, data, sim) are
+//! forbidden from reading the wall clock directly — `ntt-lint` R3
+//! rejects `Instant::now()` there, because a clock read is exactly the
+//! kind of ambient input that quietly couples results to the host. But
+//! those crates still *report* elapsed wall time (trainer throughput,
+//! fleet sweep duration), which is legitimate: timings flow into
+//! reports and metrics, never back into numerics.
+//!
+//! [`Stopwatch`] is the one sanctioned way to do that. It lives here,
+//! inside the allowlisted obs crate, so every clock read in the
+//! workspace is greppable to this file, and the determinism argument
+//! ("timings are write-only outputs") has a single choke point to
+//! audit.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer. Obtain one with [`Stopwatch::start`],
+/// read it with [`Stopwatch::elapsed`].
+///
+/// ```
+/// let sw = ntt_obs::Stopwatch::start();
+/// // ... work ...
+/// let wall: std::time::Duration = sw.elapsed();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Read the clock and start timing.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Wall time since [`Stopwatch::start`]. Monotonic, never panics.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+}

@@ -51,12 +51,14 @@
 //! computed values — are themselves bit-stable across thread counts;
 //! only wall-clock histograms vary run to run.
 
+mod clock;
 mod export;
 mod histogram;
 mod metric;
 mod registry;
 mod span;
 
+pub use clock::Stopwatch;
 pub use histogram::{bounds_of, bucket_of, BucketCount, Histogram, HistogramSnapshot, BUCKETS};
 pub use metric::{Counter, Gauge};
 pub use registry::{counter, gauge, histogram, snapshot, MetricsSnapshot};

@@ -19,6 +19,7 @@
 //! that asked, and a ticket's `wait` blocks until that answer exists.
 
 use crate::engine::InferenceEngine;
+use crate::error::ServeError;
 use ntt_data::NUM_FEATURES;
 use ntt_obs::{Histogram, HistogramSnapshot};
 use ntt_tensor::{kernels, Tensor};
@@ -114,13 +115,12 @@ pub struct Ticket {
 
 impl Ticket {
     /// Block until the prediction for this request exists (normalized
-    /// model output). Panics if the batcher was dropped mid-request —
-    /// the batcher drains its queue on shutdown, so that indicates a
-    /// worker panic, which must not be swallowed.
-    pub fn wait(self) -> f32 {
-        self.rx
-            .recv()
-            .expect("batcher worker died before answering")
+    /// model output). Returns [`ServeError::WorkerDied`] if the batcher
+    /// lost its worker mid-request — the batcher drains its queue on
+    /// shutdown, so a dropped sender means a worker panic, which must
+    /// surface to the caller instead of hanging or crashing the server.
+    pub fn wait(self) -> Result<f32, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerDied)
     }
 }
 
@@ -193,34 +193,44 @@ impl Batcher {
     /// Submit one featurized window (`seq_len * NUM_FEATURES` values,
     /// with an aux scalar when the head needs one, e.g. the MCT head's
     /// normalized log message size). Returns immediately; the returned
-    /// [`Ticket`] resolves to the prediction.
-    pub fn submit(&self, window: Vec<f32>, aux: Option<f32>) -> Ticket {
-        assert_eq!(
-            window.len(),
-            self.shared.engine.seq_len() * NUM_FEATURES,
-            "window has the wrong length"
-        );
+    /// [`Ticket`] resolves to the prediction. Malformed requests and a
+    /// dead/shutting-down pool are client-reachable conditions, so they
+    /// come back as [`ServeError`]s instead of panicking the server.
+    pub fn submit(&self, window: Vec<f32>, aux: Option<f32>) -> Result<Ticket, ServeError> {
+        let want = self.shared.engine.seq_len() * NUM_FEATURES;
+        if window.len() != want {
+            return Err(ServeError::WindowLength {
+                got: window.len(),
+                want,
+            });
+        }
         let needs_aux = self
             .shared
             .engine
             .head(self.shared.cfg.head)
+            // PANIC-OK: Batcher::new asserts the head exists and the
+            // engine's head set is immutable afterwards.
             .expect("checked at construction")
             .needs_aux();
-        assert_eq!(
-            needs_aux,
-            aux.is_some(),
-            "{:?} head aux-input mismatch",
-            self.shared.cfg.head
-        );
+        if needs_aux != aux.is_some() {
+            return Err(ServeError::AuxMismatch {
+                head: self.shared.cfg.head,
+                needs_aux,
+            });
+        }
         let (tx, rx) = mpsc::channel();
         let enqueued = ntt_obs::enabled().then(Instant::now);
         {
-            let mut q = self.shared.queue.lock().unwrap();
-            assert!(!q.shutdown, "submit after shutdown");
-            assert!(
-                !q.poisoned,
-                "batcher is dead: a worker thread panicked (a hang would hide the bug)"
-            );
+            // Lock poisoning is tracked by our own `poisoned` flag (the
+            // queue holds plain data, always consistent), so recover the
+            // guard rather than double-panic.
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.poisoned {
+                return Err(ServeError::Poisoned);
+            }
             q.pending.push_back(Request {
                 window,
                 aux,
@@ -229,7 +239,7 @@ impl Batcher {
             });
         }
         self.shared.ready.notify_one();
-        Ticket { rx }
+        Ok(Ticket { rx })
     }
 
     /// False once a worker thread has panicked: the batcher rejects
@@ -314,7 +324,10 @@ fn worker_loop(shared: &Shared) {
     loop {
         // Claim an arrival-order run from the queue front.
         let batch: Vec<Request> = {
-            let mut q = shared.queue.lock().unwrap();
+            // Lock/condvar poisoning maps to our own `poisoned` flag;
+            // recovering the guard here keeps the drain loop alive so
+            // shutdown still resolves outstanding tickets.
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if !q.pending.is_empty() {
                     break;
@@ -322,7 +335,7 @@ fn worker_loop(shared: &Shared) {
                 if q.shutdown || q.poisoned {
                     return;
                 }
-                q = shared.ready.wait(q).unwrap();
+                q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
             let n = q.pending.len().min(shared.cfg.max_batch);
             q.pending.drain(..n).collect()
@@ -352,6 +365,8 @@ fn worker_loop(shared: &Shared) {
             Tensor::from_vec(
                 batch
                     .iter()
+                    // PANIC-OK: submit rejects aux mismatches for this
+                    // head, so a batch is all-aux or all-none.
                     .map(|r| r.aux.expect("checked on submit"))
                     .collect(),
                 &[b, 1],
@@ -419,9 +434,12 @@ mod tests {
                 head: "delay",
             },
         );
-        let tickets: Vec<Ticket> = ws.iter().map(|w| batcher.submit(w.clone(), None)).collect();
+        let tickets: Vec<Ticket> = ws
+            .iter()
+            .map(|w| batcher.submit(w.clone(), None).unwrap())
+            .collect();
         for (t, e) in tickets.into_iter().zip(&expect) {
-            assert_eq!(t.wait().to_bits(), e.to_bits());
+            assert_eq!(t.wait().unwrap().to_bits(), e.to_bits());
         }
         let stats = batcher.stats();
         assert_eq!(stats.windows, 13);
@@ -435,11 +453,13 @@ mod tests {
         let ws = windows(&eng, 6, 4);
         let tickets: Vec<Ticket> = {
             let batcher = Batcher::new(Arc::clone(&eng), BatchConfig::default());
-            ws.iter().map(|w| batcher.submit(w.clone(), None)).collect()
+            ws.iter()
+                .map(|w| batcher.submit(w.clone(), None).unwrap())
+                .collect()
             // Batcher drops here; its queue must drain first.
         };
         for t in tickets {
-            assert!(t.wait().is_finite());
+            assert!(t.wait().unwrap().is_finite());
         }
     }
 
@@ -467,10 +487,10 @@ mod tests {
         let tickets: Vec<Ticket> = ws
             .iter()
             .enumerate()
-            .map(|(i, w)| batcher.submit(w.clone(), Some(i as f32 * 0.1)))
+            .map(|(i, w)| batcher.submit(w.clone(), Some(i as f32 * 0.1)).unwrap())
             .collect();
         for (t, e) in tickets.into_iter().zip(&expect) {
-            assert_eq!(t.wait().to_bits(), e.to_bits());
+            assert_eq!(t.wait().unwrap().to_bits(), e.to_bits());
         }
     }
 
@@ -519,10 +539,11 @@ mod tests {
             },
         );
         let row = eng.seq_len() * NUM_FEATURES;
-        let ticket = batcher.submit(vec![0.0; row], None);
+        let ticket = batcher.submit(vec![0.0; row], None).unwrap();
         // The in-flight ticket must resolve to an error, not hang...
-        assert!(
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.wait())).is_err(),
+        assert_eq!(
+            ticket.wait(),
+            Err(ServeError::WorkerDied),
             "ticket of a panicked batch must fail, not block"
         );
         // ...the batcher must report itself dead (the request's sender
@@ -534,10 +555,10 @@ mod tests {
         }
         assert!(!batcher.is_healthy());
         // ...and further submissions must be rejected loudly.
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            batcher.submit(vec![0.0; row], None)
-        }))
-        .is_err());
+        assert_eq!(
+            batcher.submit(vec![0.0; row], None).err(),
+            Some(ServeError::Poisoned)
+        );
     }
 
     #[test]
@@ -553,9 +574,12 @@ mod tests {
                 head: "delay",
             },
         );
-        let tickets: Vec<Ticket> = ws.iter().map(|w| batcher.submit(w.clone(), None)).collect();
+        let tickets: Vec<Ticket> = ws
+            .iter()
+            .map(|w| batcher.submit(w.clone(), None).unwrap())
+            .collect();
         for t in tickets {
-            t.wait();
+            t.wait().unwrap();
         }
         let m = batcher.metrics();
         // Every request waited in the queue once; every batch was
@@ -631,10 +655,15 @@ mod tests {
         );
         let row = eng.seq_len() * NUM_FEATURES;
         // First request succeeds and is counted.
-        assert!(batcher.submit(vec![0.0; row], None).wait().is_finite());
+        assert!(batcher
+            .submit(vec![0.0; row], None)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .is_finite());
         // Second request kills the worker.
-        let doomed = batcher.submit(vec![0.1; row], None);
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| doomed.wait())).is_err());
+        let doomed = batcher.submit(vec![0.1; row], None).unwrap();
+        assert_eq!(doomed.wait(), Err(ServeError::WorkerDied));
         let t0 = std::time::Instant::now();
         while batcher.is_healthy() && t0.elapsed().as_secs() < 5 {
             std::thread::yield_now();
@@ -654,11 +683,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "aux-input mismatch")]
-    fn delay_requests_reject_aux() {
+    fn malformed_requests_return_typed_errors() {
         let eng = Arc::new(tiny_engine(0.0));
         let batcher = Batcher::new(Arc::clone(&eng), BatchConfig::default());
         let row = eng.seq_len() * NUM_FEATURES;
-        batcher.submit(vec![0.0; row], Some(1.0));
+        assert_eq!(
+            batcher.submit(vec![0.0; row], Some(1.0)).err(),
+            Some(ServeError::AuxMismatch {
+                head: "delay",
+                needs_aux: false
+            })
+        );
+        assert_eq!(
+            batcher.submit(vec![0.0; 3], None).err(),
+            Some(ServeError::WindowLength { got: 3, want: row })
+        );
     }
 }

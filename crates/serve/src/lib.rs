@@ -49,25 +49,33 @@
 //! let y = engine.predict("delay", &x, None);
 //! assert_eq!(y.shape(), &[8, 1]);
 //!
-//! // ...or micro-batched request coalescing.
+//! // ...or micro-batched request coalescing. Client-reachable failures
+//! // (bad window length, aux mismatch, dead pool) surface as typed
+//! // `ServeError`s, never as server panics.
 //! let batcher = Batcher::new(Arc::clone(&engine), BatchConfig::default());
 //! let row = cfg.seq_len() * NUM_FEATURES;
 //! let tickets: Vec<_> = (0..8)
-//!     .map(|i| batcher.submit(x.data()[i * row..(i + 1) * row].to_vec(), None))
+//!     .map(|i| {
+//!         batcher
+//!             .submit(x.data()[i * row..(i + 1) * row].to_vec(), None)
+//!             .expect("well-formed request")
+//!     })
 //!     .collect();
 //! for (i, t) in tickets.into_iter().enumerate() {
-//!     assert_eq!(t.wait().to_bits(), y.data()[i].to_bits());
+//!     assert_eq!(t.wait().unwrap().to_bits(), y.data()[i].to_bits());
 //! }
 //! ```
 
 mod batcher;
 mod engine;
+mod error;
 pub mod live;
 mod registry;
 mod session;
 
 pub use batcher::{BatchConfig, Batcher, BatcherMetrics, BatcherStats, Ticket};
 pub use engine::InferenceEngine;
+pub use error::ServeError;
 pub use live::{LiveOptions, LiveReport};
 pub use registry::ModelRegistry;
 pub use session::{DelayPrediction, InferenceSession, SessionConfig};

@@ -5,17 +5,21 @@
 //! names to immutable [`InferenceEngine`]s behind `Arc`s — loading a
 //! checkpoint materializes the weights exactly once, and every session
 //! or batcher that serves the model clones only the `Arc`.
+//!
+//! The map is a `BTreeMap` on purpose: listings (`names`) and any
+//! future iteration over the registry come out in stable sorted order,
+//! never in a hash order that varies per process.
 
 use crate::engine::InferenceEngine;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
-/// Thread-safe name → engine map.
+/// Thread-safe name → engine map (sorted, so enumeration is stable).
 #[derive(Default)]
 pub struct ModelRegistry {
-    engines: RwLock<HashMap<String, Arc<InferenceEngine>>>,
+    engines: RwLock<BTreeMap<String, Arc<InferenceEngine>>>,
 }
 
 impl ModelRegistry {
@@ -35,7 +39,9 @@ impl ModelRegistry {
     /// old engine finish on their own `Arc`).
     pub fn load(&self, name: &str, path: impl AsRef<Path>) -> io::Result<Arc<InferenceEngine>> {
         let engine = Arc::new(InferenceEngine::load(path)?);
-        let mut map = self.engines.write().unwrap();
+        // A poisoned lock means some writer panicked mid-update; the
+        // map itself (String -> Arc) is never torn, so recover it.
+        let mut map = self.engines.write().unwrap_or_else(|e| e.into_inner());
         map.insert(name.to_string(), Arc::clone(&engine));
         self.track_count(map.len());
         Ok(engine)
@@ -44,7 +50,8 @@ impl ModelRegistry {
     /// Register an already-built engine under `name`.
     pub fn insert(&self, name: &str, engine: InferenceEngine) -> Arc<InferenceEngine> {
         let engine = Arc::new(engine);
-        let mut map = self.engines.write().unwrap();
+        // Recoverable for the same reason as `load`.
+        let mut map = self.engines.write().unwrap_or_else(|e| e.into_inner());
         map.insert(name.to_string(), Arc::clone(&engine));
         self.track_count(map.len());
         engine
@@ -52,27 +59,38 @@ impl ModelRegistry {
 
     /// The engine registered under `name`, if any.
     pub fn get(&self, name: &str) -> Option<Arc<InferenceEngine>> {
-        self.engines.read().unwrap().get(name).cloned()
+        // Recoverable: lookups on a recovered map are always coherent.
+        self.engines
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
     }
 
     /// Unregister `name`, returning the engine if it was present.
     pub fn remove(&self, name: &str) -> Option<Arc<InferenceEngine>> {
-        let mut map = self.engines.write().unwrap();
+        // Recoverable for the same reason as `load`.
+        let mut map = self.engines.write().unwrap_or_else(|e| e.into_inner());
         let removed = map.remove(name);
         self.track_count(map.len());
         removed
     }
 
-    /// Registered names, sorted.
+    /// Registered names, sorted (free: the map is ordered).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.engines.read().unwrap().keys().cloned().collect();
-        names.sort();
-        names
+        // Recoverable: lookups on a recovered map are always coherent.
+        self.engines
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Number of registered engines.
     pub fn len(&self) -> usize {
-        self.engines.read().unwrap().len()
+        // Recoverable: lookups on a recovered map are always coherent.
+        self.engines.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when nothing is registered.

@@ -78,15 +78,15 @@ proptest! {
         let mut outstanding: Vec<(usize, Ticket)> = Vec::new();
         let mut got: Vec<(usize, f32)> = Vec::new();
         for (i, w) in windows.iter().enumerate() {
-            outstanding.push((i, batcher.submit(w.clone(), None)));
+            outstanding.push((i, batcher.submit(w.clone(), None).unwrap()));
             while !outstanding.is_empty() && splitmix64(&mut state).is_multiple_of(3) {
                 let j = (splitmix64(&mut state) as usize) % outstanding.len();
                 let (idx, t) = outstanding.swap_remove(j);
-                got.push((idx, t.wait()));
+                got.push((idx, t.wait().unwrap()));
             }
         }
         for (idx, t) in outstanding {
-            got.push((idx, t.wait()));
+            got.push((idx, t.wait().unwrap()));
         }
 
         prop_assert_eq!(got.len(), n);
@@ -132,10 +132,10 @@ proptest! {
         let tickets: Vec<Ticket> = windows
             .iter()
             .zip(&auxes)
-            .map(|(w, &a)| batcher.submit(w.clone(), Some(a)))
+            .map(|(w, &a)| batcher.submit(w.clone(), Some(a)).unwrap())
             .collect();
         for (t, e) in tickets.into_iter().zip(&expect) {
-            prop_assert_eq!(t.wait().to_bits(), e.to_bits());
+            prop_assert_eq!(t.wait().unwrap().to_bits(), e.to_bits());
         }
     }
 }

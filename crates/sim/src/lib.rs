@@ -48,7 +48,7 @@ pub mod node;
 pub mod packet;
 pub mod persist;
 pub mod scenarios;
-#[allow(clippy::module_inception)]
+#[allow(clippy::module_inception)] // the crate-defining module shares the crate name by convention
 pub mod sim;
 pub mod tcp;
 pub mod time;

@@ -65,7 +65,7 @@ pub const MSS: u32 = 1446;
 
 impl Packet {
     /// A data packet carrying `payload` bytes.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // flat constructor mirrors the on-wire record layout
     pub fn data(
         flow: FlowId,
         seq: u64,

@@ -18,7 +18,7 @@ use crate::time::SimTime;
 use crate::trace::{MessageRecord, PacketRecord, QueueSample, TraceCollector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate counters for a finished run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,7 +39,7 @@ pub struct Simulator {
     rng: StdRng,
     pub stats: SimStats,
     /// Queue telemetry: link -> sampling interval + collected series.
-    telemetry: HashMap<usize, (SimTime, Vec<QueueSample>)>,
+    telemetry: BTreeMap<usize, (SimTime, Vec<QueueSample>)>,
 }
 
 impl Simulator {
@@ -62,7 +62,7 @@ impl Simulator {
             trace,
             rng: StdRng::seed_from_u64(seed),
             stats: SimStats::default(),
-            telemetry: HashMap::new(),
+            telemetry: BTreeMap::new(),
         }
     }
 

@@ -157,6 +157,17 @@ where
 /// is sequential and the accumulator tile never leaves registers.
 #[inline(always)]
 fn micro_impl(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    // Dynamic complement to the SAFETY comments (lint R1): the packed
+    // panels must cover all kc depth steps, or chunks_exact would
+    // silently truncate the accumulation. Free in release builds.
+    debug_assert!(
+        apanel.len() >= kc * MR,
+        "A panel shorter than kc depth steps"
+    );
+    debug_assert!(
+        bpanel.len() >= kc * NR,
+        "B panel shorter than kc depth steps"
+    );
     // Accumulate into a by-value local: with no live pointer to it, the
     // tile provably stays in registers and is stored exactly once.
     let mut local = [[0.0f32; NR]; MR];
@@ -219,6 +230,17 @@ fn micro_fn() -> MicroFn {
 /// and `nt` (`brs == 1`, `bcs == ldb`) sources.
 fn pack_b(b: &[f32], brs: usize, bcs: usize, pc: usize, kc: usize, n: usize, out: &mut [f32]) {
     let n_panels = n.div_ceil(NR);
+    // Entry bounds checks (compiled out in release): the destination
+    // must hold every zero-padded panel and the source must cover the
+    // last element this depth block reads.
+    debug_assert!(
+        out.len() >= n_panels * kc * NR,
+        "pack_b destination too short"
+    );
+    debug_assert!(
+        kc == 0 || n == 0 || b.len() > (pc + kc - 1) * brs + (n - 1) * bcs,
+        "pack_b source too short for depth block"
+    );
     for jp in 0..n_panels {
         let j0 = jp * NR;
         let jw = NR.min(n - j0);
@@ -255,7 +277,7 @@ fn pack_b(b: &[f32], brs: usize, bcs: usize, pc: usize, kc: usize, n: usize, out
 /// `a[i * ars + p * acs]`. Both layouts are packed in a single pass in
 /// *source* memory order — the `tn` case in particular reads each depth
 /// row of A exactly once instead of restriding per micro-panel.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 fn pack_a_block(
     a: &[f32],
     ars: usize,
@@ -266,6 +288,17 @@ fn pack_a_block(
     kc: usize,
     out: &mut [f32],
 ) {
+    // Entry bounds checks (compiled out in release): every micro-panel
+    // this block writes must fit, and the furthest source element read
+    // — row ic+mc-1 at depth pc+kc-1 — must exist.
+    debug_assert!(
+        out.len() >= mc.div_ceil(MR) * kc * MR,
+        "pack_a destination too short"
+    );
+    debug_assert!(
+        mc == 0 || kc == 0 || a.len() > (ic + mc - 1) * ars + (pc + kc - 1) * acs,
+        "pack_a source too short for row/depth block"
+    );
     if acs == 1 {
         // Row-major A (nn/nt): each source row is contiguous in p.
         for r in 0..mc {
@@ -305,7 +338,7 @@ fn pack_a_block(
 /// barrier (with a serialized re-pack) per block. The per-element
 /// accumulation order — ascending `pc`, then ascending `p` within the
 /// block — is unchanged.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 fn gemm_core(
     a: &[f32],
     ars: usize,
@@ -365,7 +398,7 @@ fn gemm_core(
 
 /// One thread's share of [`gemm_core`]: rows `rows` of C (chunk-relative,
 /// stride `ldc`) against the packed B panels for depth block `pc..pc+kc`.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 fn gemm_row_block(
     a: &[f32],
     ars: usize,
@@ -426,7 +459,7 @@ pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
 
 /// [`gemm_nn`] over strided views: `A` rows are `lda` apart, `B` rows
 /// `ldb` apart, `C` rows `ldc` apart.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 pub fn gemm_nn_strided(
     a: &[f32],
     lda: usize,
@@ -454,7 +487,7 @@ pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
 
 /// [`gemm_nt`] over strided views (`B` stored `[n, k]` with rows `ldb`
 /// apart).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 pub fn gemm_nt_strided(
     a: &[f32],
     lda: usize,
@@ -479,7 +512,7 @@ pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
 
 /// [`gemm_tn`] over strided views (`A` stored `[k, m]` with rows `lda`
 /// apart).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 pub fn gemm_tn_strided(
     a: &[f32],
     lda: usize,
@@ -710,7 +743,7 @@ pub const FUSED_STATS_PER_ROW: usize = 2;
 /// over `[B, T, H, dh]` views, overwriting `ctx` (same layout). When
 /// `stats` is `Some`, the per-row `(max, sum)` pairs are written to it
 /// (`[B, H, T, 2]`) so the backward can recompute score tiles exactly.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 pub fn attn_fused_fwd(
     q: &[f32],
     k: &[f32],
@@ -839,7 +872,7 @@ fn fused_score_tile(
 
 /// One thread's share of [`attn_fused_fwd`]: batch rows `range`, with
 /// `ctx_chunk`/`stats_chunk` starting at row `range.start`.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 fn fused_fwd_rows(
     q: &[f32],
     k: &[f32],
@@ -940,7 +973,7 @@ fn fused_fwd_rows(
 /// tiles are recomputed on the fly with the same packed microkernel and
 /// tile order as the forward — the probabilities are bit-identical to
 /// the ones the forward folded in, and nothing `T²`-sized is allocated.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 pub fn attn_fused_bwd(
     q: &[f32],
     k: &[f32],
@@ -995,7 +1028,7 @@ pub fn attn_fused_bwd(
 
 /// One thread's share of [`attn_fused_bwd`]: batch rows `range`, grad
 /// chunks starting at row `range.start`.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // GEMM kernels take the full (dims, strides, panels) contract flat
 fn fused_bwd_rows(
     q: &[f32],
     k: &[f32],

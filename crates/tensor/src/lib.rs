@@ -34,7 +34,7 @@ pub mod shape;
 
 mod param;
 mod tape;
-#[allow(clippy::module_inception)]
+#[allow(clippy::module_inception)] // the crate-defining module shares the crate name by convention
 mod tensor;
 
 pub use param::Param;

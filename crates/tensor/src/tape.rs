@@ -71,7 +71,7 @@
 use crate::shape::{self, Broadcast};
 use crate::{kernels, Param, Tensor};
 use std::cell::{Cell, Ref, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -117,7 +117,7 @@ const F32_BYTES: usize = std::mem::size_of::<f32>();
 /// exported through the process-wide `tensor.tape_arena_bytes` gauge.
 #[derive(Default)]
 struct Scratch {
-    pool: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
+    pool: RefCell<BTreeMap<usize, Vec<Vec<f32>>>>,
     /// Bytes currently pooled across every bucket.
     bytes: Cell<usize>,
     /// Largest value `bytes` has reached over this arena's lifetime.
@@ -738,7 +738,7 @@ impl Tape {
         };
         // Param identity -> entry index, for parameters recorded on the
         // tape more than once (e.g. a layer applied at two places).
-        let mut slot_of: HashMap<usize, usize> = HashMap::new();
+        let mut slot_of: BTreeMap<usize, usize> = BTreeMap::new();
         self.backward_walk(
             loss,
             &mut |p: &Param, g: &Tensor| {
