@@ -110,6 +110,7 @@ fn serve_single(engine: &Arc<InferenceEngine>, pool: &Tensor, n: usize) -> f64 {
             max_batch: 8,
             workers: 1,
             head: "delay",
+            ..BatchConfig::default()
         },
     );
     for i in 0..16 {
@@ -141,6 +142,7 @@ fn serve_concurrent(
             max_batch: streams,
             workers: 1,
             head: "delay",
+            ..BatchConfig::default()
         },
     ));
     let per = (n / streams).max(1);
@@ -350,6 +352,21 @@ fn main() {
         );
     }
 
+    // ---- robustness counters ----------------------------------------
+    // The self-healing counters the chaos plane exercises. A clean bench
+    // run must come out all-zero (no chaos plan is installed here): any
+    // nonzero value means the serving path shed, expired, or respawned
+    // under plain load, which is itself a finding worth recording.
+    let restarts = ntt_obs::counter!("serve.worker_restarts").get();
+    let shed = ntt_obs::counter!("serve.shed_total").get();
+    let expired = ntt_obs::counter!("serve.deadline_exceeded").get();
+    let retries = ntt_obs::counter!("fleet.shard_retries").get();
+    let depth = ntt_obs::gauge!("serve.queue_depth").get();
+    eprintln!(
+        "  robustness: {restarts} worker restarts, {shed} shed, {expired} deadline-exceeded, \
+         {retries} shard retries, queue depth {depth:.0}"
+    );
+
     // ---- machine-readable artifact ----------------------------------
     let mut json = String::from("{\n  \"bench\": \"serve\",\n");
     let _ = writeln!(json, "  \"host\": {},", host_context_json());
@@ -408,13 +425,20 @@ fn main() {
         "  \"serving_latency\": {{\"requests\": {}, \
          \"queue_wait_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}}, \
          \"service_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}}, \
-         \"mean_batch\": {:.2}}}",
+         \"mean_batch\": {:.2}}},",
         lat.queue_wait_ns.count,
         us(&lat.queue_wait_ns, 0.50),
         us(&lat.queue_wait_ns, 0.99),
         us(&lat.service_ns, 0.50),
         us(&lat.service_ns, 0.99),
         lat.batch_size.mean(),
+    );
+    // Self-healing counters (all zero on a clean, chaos-free run).
+    let _ = writeln!(
+        json,
+        "  \"robustness\": {{\"worker_restarts\": {restarts}, \"shed_total\": {shed}, \
+         \"deadline_exceeded\": {expired}, \"shard_retries\": {retries}, \
+         \"queue_depth\": {depth:.0}}}"
     );
     json.push_str("}\n");
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

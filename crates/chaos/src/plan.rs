@@ -1,0 +1,397 @@
+//! Fault schedules: which site fails, how, and on which hits.
+//!
+//! A [`ChaosPlan`] is a seed plus a list of [`Rule`]s. Every injection
+//! decision is a **pure function** of `(seed, site, key)` — no clock,
+//! no entropy, no global ordering — so a fault schedule replays
+//! identically from its seed at any thread count. Sites that have a
+//! natural deterministic key (a fleet shard index, a checkpoint load
+//! ordinal) pass it explicitly; sites without one draw a per-rule hit
+//! counter, which keeps the *set* of faulted hits (and therefore the
+//! sorted fault trace) seed-deterministic even when the hit-to-thread
+//! assignment races.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// SplitMix64 (same constants as `ntt_tensor::splitmix64`, duplicated
+/// so this crate stays dependency-free): the workspace's one blessed
+/// seeded generator.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a site name: folds the site into the decision stream so
+/// two rules at different sites never share a fault schedule.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// What a matched rule injects at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The site panics (worker crash).
+    Panic,
+    /// The site sleeps for `millis` (injected latency / queue stall).
+    Delay { millis: u64 },
+    /// The site reports a retryable failure.
+    Fail,
+    /// A read buffer gets one byte XOR-flipped at a seed-chosen offset.
+    Corrupt,
+    /// A read buffer loses a seed-chosen fraction of its tail.
+    Truncate,
+}
+
+impl FaultKind {
+    /// Stable label used in traces, reports, and the env spec.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay { .. } => "delay",
+            FaultKind::Fail => "fail",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Truncate => "truncate",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Delay { millis } => write!(f, "delay({millis})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// One fault schedule: at `site`, inject `kind` on `num`-in-`den` hits
+/// (decided per hit by the seeded stream), at most `limit` times
+/// (`0` = unlimited).
+#[derive(Debug)]
+pub struct Rule {
+    pub site: String,
+    pub kind: FaultKind,
+    pub num: u32,
+    pub den: u32,
+    pub limit: u64,
+    /// Hits at this rule's site (keyless sites use this as the key).
+    pub(crate) hits: AtomicU64,
+    /// Faults actually injected (enforces `limit`).
+    pub(crate) injected: AtomicU64,
+}
+
+impl Rule {
+    pub fn new(site: impl Into<String>, kind: FaultKind) -> Self {
+        Rule {
+            site: site.into(),
+            kind,
+            num: 1,
+            den: 1,
+            limit: 0,
+            hits: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Fire on `num`-in-`den` hits (seed-chosen which ones).
+    pub fn rate(mut self, num: u32, den: u32) -> Self {
+        assert!(den > 0, "rate denominator must be positive");
+        self.num = num;
+        self.den = den;
+        self
+    }
+
+    /// Inject at most `limit` faults from this rule (0 = unlimited).
+    pub fn limit(mut self, limit: u64) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn injected_count(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// A seed plus its fault rules. Install one with [`crate::install`] /
+/// [`crate::scoped`] or via the `NTT_CHAOS` environment spec.
+#[derive(Debug)]
+pub struct ChaosPlan {
+    pub seed: u64,
+    pub rules: Vec<Rule>,
+}
+
+impl ChaosPlan {
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a fault rule (builder style).
+    pub fn rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The pure injection decision for `(site, key)` under `kind`'s
+    /// rule: hash the seed, site, and key through one SplitMix64 step
+    /// and compare against the rule's rate.
+    pub fn would_fault(&self, rule: &Rule, key: u64) -> bool {
+        if rule.num == 0 {
+            return false;
+        }
+        let mut s = self
+            .seed
+            ^ fnv1a(rule.site.as_bytes())
+            // Golden-ratio spread so adjacent keys land in distant
+            // stream positions.
+            ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = splitmix64(&mut s);
+        (h % rule.den as u64) < rule.num as u64
+    }
+
+    /// Decide whether `site` faults on this hit. `key` of `None` draws
+    /// the rule's hit counter. Returns the fault to inject, charging
+    /// the rule's budget.
+    pub(crate) fn decide(&self, site: &str, key: Option<u64>, want: Class) -> Option<FaultKind> {
+        for rule in &self.rules {
+            if rule.site != site || !want.matches(rule.kind) {
+                continue;
+            }
+            let k = match key {
+                Some(k) => {
+                    rule.hits.fetch_add(1, Ordering::Relaxed);
+                    k
+                }
+                None => rule.hits.fetch_add(1, Ordering::Relaxed),
+            };
+            if !self.would_fault(rule, k) {
+                continue;
+            }
+            if rule.limit > 0 {
+                // Charge the budget atomically; losers of the race
+                // give the slot back untouched (fetch_update retries).
+                let charged = rule
+                    .injected
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                        (n < rule.limit).then_some(n + 1)
+                    })
+                    .is_ok();
+                if !charged {
+                    continue;
+                }
+            } else {
+                rule.injected.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::trace::record(site, k, rule.kind);
+            return Some(rule.kind);
+        }
+        None
+    }
+}
+
+/// Which fault kinds a call site can act on (a panic site must never be
+/// handed a `Corrupt`, and vice versa).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Class {
+    Panic,
+    Delay,
+    Fail,
+    Mangle,
+}
+
+impl Class {
+    fn matches(&self, kind: FaultKind) -> bool {
+        matches!(
+            (self, kind),
+            (Class::Panic, FaultKind::Panic)
+                | (Class::Delay, FaultKind::Delay { .. })
+                | (Class::Fail, FaultKind::Fail)
+                | (Class::Mangle, FaultKind::Corrupt | FaultKind::Truncate)
+        )
+    }
+}
+
+/// Parse the `NTT_CHAOS` spec. `None`/`off`/`0`/`false`/empty disable
+/// chaos; anything else must parse as a comma-separated list of
+/// `seed=N` and `<site>=<kind>[:N/D][xLIMIT]` entries, where `<kind>`
+/// is `panic`, `fail`, `corrupt`, `truncate`, or `delay(MS)`:
+///
+/// ```text
+/// NTT_CHAOS="seed=42,serve.worker.panic=panic:1/8,core.checkpoint.read=corrupt:1/2x3"
+/// ```
+pub fn parse_spec(raw: Option<&str>) -> Result<Option<ChaosPlan>, String> {
+    let raw = match raw.map(str::trim) {
+        None | Some("") => return Ok(None),
+        Some(s) if matches!(s.to_ascii_lowercase().as_str(), "off" | "0" | "false") => {
+            return Ok(None)
+        }
+        Some(s) => s,
+    };
+    let mut plan = ChaosPlan::new(0);
+    for entry in raw.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (lhs, rhs) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("chaos spec entry {entry:?}: expected key=value"))?;
+        if lhs == "seed" {
+            plan.seed = rhs
+                .parse()
+                .map_err(|_| format!("chaos spec: bad seed {rhs:?}"))?;
+            continue;
+        }
+        plan.rules.push(parse_rule(lhs, rhs)?);
+    }
+    if plan.rules.is_empty() {
+        return Err(format!("chaos spec {raw:?} names no fault rules"));
+    }
+    Ok(Some(plan))
+}
+
+fn parse_rule(site: &str, rhs: &str) -> Result<Rule, String> {
+    // Peel `xLIMIT` then `:N/D` off the right-hand side.
+    let (rhs, limit) = match rhs.rsplit_once('x') {
+        Some((head, tail)) if tail.chars().all(|c| c.is_ascii_digit()) && !tail.is_empty() => {
+            let limit = tail
+                .parse()
+                .map_err(|_| format!("chaos spec: bad limit in {rhs:?}"))?;
+            (head, limit)
+        }
+        _ => (rhs, 0u64),
+    };
+    let (kind_str, num, den) = match rhs.split_once(':') {
+        Some((k, rate)) => {
+            let (n, d) = rate
+                .split_once('/')
+                .ok_or_else(|| format!("chaos spec: bad rate {rate:?} (want N/D)"))?;
+            let n = n
+                .parse()
+                .map_err(|_| format!("chaos spec: bad rate numerator {n:?}"))?;
+            let d: u32 = d
+                .parse()
+                .map_err(|_| format!("chaos spec: bad rate denominator {d:?}"))?;
+            if d == 0 {
+                return Err("chaos spec: rate denominator must be positive".into());
+            }
+            (k, n, d)
+        }
+        None => (rhs, 1u32, 1u32),
+    };
+    let kind = match kind_str {
+        "panic" => FaultKind::Panic,
+        "fail" => FaultKind::Fail,
+        "corrupt" => FaultKind::Corrupt,
+        "truncate" => FaultKind::Truncate,
+        other => {
+            let inner = other
+                .strip_prefix("delay(")
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| format!("chaos spec: unknown fault kind {other:?}"))?;
+            let millis = inner
+                .parse()
+                .map_err(|_| format!("chaos spec: bad delay millis {inner:?}"))?;
+            FaultKind::Delay { millis }
+        }
+    };
+    Ok(Rule::new(site, kind).rate(num, den).limit(limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_in_seed_site_key() {
+        let plan = ChaosPlan::new(7).rule(Rule::new("a.b", FaultKind::Fail).rate(1, 3));
+        let rule = &plan.rules[0];
+        let first: Vec<bool> = (0..64).map(|k| plan.would_fault(rule, k)).collect();
+        let second: Vec<bool> = (0..64).map(|k| plan.would_fault(rule, k)).collect();
+        assert_eq!(first, second, "same (seed, site, key) must re-decide alike");
+        assert!(first.iter().any(|&b| b), "1-in-3 over 64 keys fires");
+        assert!(!first.iter().all(|&b| b), "1-in-3 over 64 keys also skips");
+
+        let other = ChaosPlan::new(8).rule(Rule::new("a.b", FaultKind::Fail).rate(1, 3));
+        let shifted: Vec<bool> = (0..64)
+            .map(|k| other.would_fault(&other.rules[0], k))
+            .collect();
+        assert_ne!(first, shifted, "a different seed reschedules the faults");
+    }
+
+    #[test]
+    fn rate_edges_always_and_never() {
+        let plan = ChaosPlan::new(1)
+            .rule(Rule::new("always", FaultKind::Panic).rate(1, 1))
+            .rule(Rule::new("never", FaultKind::Panic).rate(0, 5));
+        assert!((0..32).all(|k| plan.would_fault(&plan.rules[0], k)));
+        assert!((0..32).all(|k| !plan.would_fault(&plan.rules[1], k)));
+    }
+
+    #[test]
+    fn spec_disabled_forms() {
+        for raw in [
+            None,
+            Some(""),
+            Some("off"),
+            Some("0"),
+            Some("false"),
+            Some(" OFF "),
+        ] {
+            assert!(parse_spec(raw).unwrap().is_none(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let plan = parse_spec(Some(
+            "seed=42,serve.worker.panic=panic:1/8,core.checkpoint.read=corrupt:1/2x3,\
+             serve.predict.delay=delay(5):1/4,fleet.shard=fail",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules[0].kind, FaultKind::Panic);
+        assert_eq!((plan.rules[0].num, plan.rules[0].den), (1, 8));
+        assert_eq!(plan.rules[1].kind, FaultKind::Corrupt);
+        assert_eq!(plan.rules[1].limit, 3);
+        assert_eq!(plan.rules[2].kind, FaultKind::Delay { millis: 5 });
+        assert_eq!(plan.rules[3].kind, FaultKind::Fail);
+        assert_eq!((plan.rules[3].num, plan.rules[3].den), (1, 1));
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(parse_spec(Some("nonsense")).is_err());
+        assert!(parse_spec(Some("seed=notanumber,a=panic")).is_err());
+        assert!(parse_spec(Some("a=explode")).is_err());
+        assert!(parse_spec(Some("a=panic:1/0")).is_err());
+        assert!(parse_spec(Some("a=delay(x)")).is_err());
+        assert!(
+            parse_spec(Some("seed=3")).is_err(),
+            "a seed alone injects nothing"
+        );
+    }
+
+    #[test]
+    fn fault_kind_display() {
+        assert_eq!(FaultKind::Panic.to_string(), "panic");
+        assert_eq!(FaultKind::Delay { millis: 7 }.to_string(), "delay(7)");
+        assert_eq!(FaultKind::Truncate.label(), "truncate");
+    }
+}

@@ -429,8 +429,18 @@ impl Checkpoint {
     }
 
     /// Parse a `NTTCKPT2` file without instantiating the model.
+    ///
+    /// This is the chokepoint every v2 load funnels through
+    /// ([`Checkpoint::load`], `Pretrained::load`, the serving
+    /// registry), so it carries the `core.checkpoint.read` chaos site:
+    /// a seeded plan can corrupt or truncate the bytes between disk and
+    /// parser, proving the checksum/underrun validation catches damage
+    /// and that callers holding a live model keep it on failure. One
+    /// relaxed load when chaos is off.
     pub fn read(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
-        Self::parse(&std::fs::read(path)?)
+        let mut bytes = std::fs::read(path)?;
+        ntt_chaos::mangle("core.checkpoint.read", &mut bytes);
+        Self::parse(&bytes)
     }
 
     /// Parse `NTTCKPT2` bytes already in memory.

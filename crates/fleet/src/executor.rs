@@ -20,17 +20,35 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Executor settings.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
     /// Worker threads; `0` = one per available core (capped at the
     /// shard count either way).
     pub threads: usize,
+    /// Times a failed shard attempt (panic in the simulator, or an
+    /// injected chaos fault) is retried before the failure propagates.
+    /// Safe to retry blindly: a shard's trace is a pure function of its
+    /// config, so a retried shard is byte-identical to one that
+    /// succeeded first try — retries can change wall time, never data.
+    pub max_retries: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            threads: 0,
+            max_retries: 2,
+        }
+    }
 }
 
 impl FleetConfig {
     /// Run on exactly `threads` workers (`0` = auto).
     pub fn with_threads(threads: usize) -> Self {
-        FleetConfig { threads }
+        FleetConfig {
+            threads,
+            ..Self::default()
+        }
     }
 
     fn resolve(&self, n_shards: usize) -> usize {
@@ -203,6 +221,48 @@ impl FleetReport {
     }
 }
 
+/// One shard, with bounded retry: a failed attempt — a panic inside the
+/// simulator, or a fault injected at the `fleet.shard.attempt` chaos
+/// site — is retried up to `max_retries` times with a short fixed
+/// backoff before the failure propagates. Retrying is *correctness-
+/// neutral*: `run(scenario, cfg)` is a pure function of the shard
+/// config, so the attempt that finally succeeds produces the same bytes
+/// any attempt would have. The chaos decision is keyed by
+/// `(shard index, attempt)`, making the fault schedule a pure function
+/// of the plan seed — invariant across thread counts and claim order.
+fn run_shard_with_retries(shard: &Shard, index: usize, max_retries: usize) -> RunTrace {
+    let mut attempt: usize = 0;
+    loop {
+        // Key = shard index in the high bits, attempt in the low bits:
+        // an injected failure on attempt 0 does not doom attempt 1.
+        let key = (index as u64) << 8 | (attempt as u64).min(0xff);
+        let result: Result<RunTrace, Box<dyn std::any::Any + Send>> =
+            if ntt_chaos::should_fail_keyed("fleet.shard.attempt", key) {
+                Err(Box::new("chaos: injected shard failure"))
+            } else {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run(shard.scenario, &shard.cfg)
+                }))
+            };
+        match result {
+            Ok(trace) => return trace,
+            Err(payload) => {
+                if attempt >= max_retries {
+                    // Budget exhausted: surface the original failure
+                    // (the collector's recv unblocks and reports it).
+                    std::panic::resume_unwind(payload);
+                }
+                attempt += 1;
+                ntt_obs::counter!("fleet.shard_retries").inc();
+                // Fixed exponential backoff, no clock read: the delay
+                // schedule is part of the deterministic plan, not a
+                // function of observed time.
+                std::thread::sleep(Duration::from_millis(1u64 << attempt.min(6)));
+            }
+        }
+    }
+}
+
 /// Run every shard of `spec` across a worker pool, folding results into
 /// `sink` in shard order.
 ///
@@ -254,7 +314,7 @@ pub fn run_fleet(spec: &SweepSpec, cfg: &FleetConfig, sink: &mut dyn ShardSink) 
                 }
                 let shard = shards[i];
                 let t0 = ntt_obs::Stopwatch::start();
-                let trace = run(shard.scenario, &shard.cfg);
+                let trace = run_shard_with_retries(&shard, i, cfg.max_retries);
                 if tx.send((i, trace, t0.elapsed())).is_err() {
                     break; // collector gone; nothing left to do
                 }

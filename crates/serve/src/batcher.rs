@@ -1,5 +1,5 @@
 //! Micro-batching request coalescing: many concurrent single-window
-//! requests, few large forward passes.
+//! requests, few large forward passes — self-healing and overload-safe.
 //!
 //! The mTCP/event-loop lesson from the serving literature applies
 //! directly to model inference: per-request fixed costs (tape setup,
@@ -17,6 +17,40 @@
 //! the batcher proptest). Batch *composition* depends on timing; the
 //! routing does not — a response always answers exactly the request
 //! that asked, and a ticket's `wait` blocks until that answer exists.
+//!
+//! # Failure behavior
+//!
+//! A serving pool must outlive its failures, so the batcher never has a
+//! state where a caller hangs:
+//!
+//! * **Worker panic → supervised respawn.** A panicking worker's
+//!   in-flight tickets fail fast with [`ServeError::WorkerDied`] (their
+//!   response channels drop during unwind), a replacement worker is
+//!   spawned before the dying thread finishes unwinding, and
+//!   [`BatcherStats::restarts`] / the `serve.worker_restarts` counter
+//!   record the event. Queued requests survive and are served by the
+//!   replacement. Only when the restart budget
+//!   ([`BatchConfig::max_restarts`]) is exhausted does the batcher
+//!   poison terminally: pending tickets resolve to
+//!   [`ServeError::Poisoned`], `submit` rejects, and `stats()` /
+//!   `metrics()` freeze at their pre-poison values for the post-mortem.
+//! * **Overload → bounded queue + shedding.** The admission queue holds
+//!   at most [`BatchConfig::queue_cap`] requests; beyond that, `submit`
+//!   sheds with [`ServeError::Overloaded`] instead of queuing
+//!   unboundedly (`serve.shed_total`, `serve.queue_depth`).
+//! * **Slow service → deadlines.** A request carrying a deadline that
+//!   expires before a worker claims it resolves to
+//!   [`ServeError::DeadlineExceeded`] rather than occupying a batch
+//!   slot (`serve.deadline_exceeded`).
+//! * **Shutdown → drain.** [`Batcher::shutdown`] (and drop) stops
+//!   admission with [`ServeError::ShuttingDown`] but drains every
+//!   already-accepted request, so a ticket in hand always resolves.
+//!
+//! Fault injection for all of these paths rides on `ntt_chaos` sites
+//! (`serve.worker.panic`, `serve.worker.stall`): a seeded plan makes
+//! workers crash or stall on a replayable schedule, which is how the
+//! chaos soak suite drives thousands of requests through real
+//! panic/respawn/shed cycles deterministically.
 
 use crate::engine::InferenceEngine;
 use crate::error::ServeError;
@@ -27,7 +61,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Batching knobs.
 #[derive(Debug, Clone)]
@@ -39,6 +73,18 @@ pub struct BatchConfig {
     /// Head kind every request runs through (one batcher serves one
     /// task; run several batchers over one engine for several tasks).
     pub head: &'static str,
+    /// Admission-queue bound: `submit` sheds with
+    /// [`ServeError::Overloaded`] once this many requests are waiting
+    /// (`0` = unbounded, the pre-robustness behavior).
+    pub queue_cap: usize,
+    /// Worker respawns tolerated before the batcher poisons terminally.
+    /// `0` makes the first panic fatal (the old poison-on-panic
+    /// behavior).
+    pub max_restarts: usize,
+    /// Default per-request deadline applied by [`Batcher::submit`]
+    /// (`None` = requests wait indefinitely). Per-request override:
+    /// [`Batcher::submit_with_deadline`].
+    pub deadline: Option<Duration>,
 }
 
 impl Default for BatchConfig {
@@ -47,6 +93,9 @@ impl Default for BatchConfig {
             max_batch: 16,
             workers: 1,
             head: "delay",
+            queue_cap: 1024,
+            max_restarts: 64,
+            deadline: None,
         }
     }
 }
@@ -54,18 +103,21 @@ impl Default for BatchConfig {
 struct Request {
     window: Vec<f32>,
     aux: Option<f32>,
-    tx: mpsc::Sender<f32>,
+    tx: mpsc::Sender<Result<f32, ServeError>>,
     /// Submission time for the queue-wait histogram; `None` while the
     /// observability kill switch is off (no clock read on submit).
     enqueued: Option<Instant>,
+    /// Absolute expiry; a worker claiming the request after this point
+    /// answers `DeadlineExceeded` instead of serving it.
+    deadline: Option<Instant>,
 }
 
 struct Queue {
     pending: VecDeque<Request>,
     shutdown: bool,
-    /// Set when a worker thread panicked. A poisoned batcher rejects
-    /// new submissions and has dropped every pending request (so their
-    /// tickets resolve to an error instead of blocking forever).
+    /// Set when the restart budget is exhausted (or a respawn failed).
+    /// A poisoned batcher rejects new submissions and has resolved
+    /// every pending request with an error.
     poisoned: bool,
 }
 
@@ -74,19 +126,33 @@ struct Shared {
     cfg: BatchConfig,
     queue: Mutex<Queue>,
     ready: Condvar,
+    /// Worker join handles — grows when a supervisor respawns a worker,
+    /// drained by `Batcher::drop`. Lock order: `queue` before
+    /// `handles`, everywhere.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Workers currently running their loop (respawns keep it stable;
+    /// it only sinks when a worker exits without replacement).
+    live_workers: AtomicUsize,
     batches_run: AtomicU64,
     windows_run: AtomicU64,
     largest_batch: AtomicUsize,
+    /// Workers respawned after a panic (`serve.worker_restarts`).
+    restarts: AtomicU64,
+    /// Requests shed at admission (`serve.shed_total`).
+    shed: AtomicU64,
+    /// Requests expired before service (`serve.deadline_exceeded`).
+    expired: AtomicU64,
     /// Per-batcher latency accounting (also double-recorded into the
     /// global registry as `serve.queue_wait_ns` / `serve.service_ns` /
     /// `serve.batch_size`).
     queue_wait: Histogram,
     service: Histogram,
     batch_size: Histogram,
-    /// Final stats + metrics captured by the poison path. Once a worker
-    /// panics the live counters stop moving, and this freeze guarantees
-    /// `stats()`/`metrics()` keep exposing the last pre-panic view for
-    /// post-mortems instead of whatever a half-dead pool reports.
+    /// Final stats + metrics captured by the terminal poison path. Once
+    /// the restart budget is exhausted the live counters stop moving,
+    /// and this freeze guarantees `stats()`/`metrics()` keep exposing
+    /// the last pre-poison view for post-mortems instead of whatever a
+    /// half-dead pool reports.
     frozen: Mutex<Option<(BatcherStats, BatcherMetrics)>>,
 }
 
@@ -96,6 +162,9 @@ impl Shared {
             batches: self.batches_run.load(Ordering::Relaxed),
             windows: self.windows_run.load(Ordering::Relaxed),
             largest_batch: self.largest_batch.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.expired.load(Ordering::Relaxed),
         }
     }
 
@@ -106,21 +175,42 @@ impl Shared {
             batch_size: self.batch_size.snapshot(),
         }
     }
+
+    /// Terminal failure: freeze the post-mortem view, mark the pool
+    /// dead, and resolve every pending ticket with `Poisoned`. Caller
+    /// holds the queue lock.
+    fn poison(&self, q: &mut Queue) {
+        {
+            let snapshot = (self.live_stats(), self.live_metrics());
+            let mut frozen = self.frozen.lock().unwrap_or_else(|e| e.into_inner());
+            frozen.get_or_insert(snapshot);
+        }
+        q.poisoned = true;
+        for r in q.pending.drain(..) {
+            let _ = r.tx.send(Err(ServeError::Poisoned));
+        }
+        ntt_obs::gauge!("serve.queue_depth").set(0.0);
+        self.ready.notify_all();
+    }
 }
 
 /// Handle to one in-flight request.
 pub struct Ticket {
-    rx: mpsc::Receiver<f32>,
+    rx: mpsc::Receiver<Result<f32, ServeError>>,
 }
 
 impl Ticket {
-    /// Block until the prediction for this request exists (normalized
-    /// model output). Returns [`ServeError::WorkerDied`] if the batcher
-    /// lost its worker mid-request — the batcher drains its queue on
-    /// shutdown, so a dropped sender means a worker panic, which must
-    /// surface to the caller instead of hanging or crashing the server.
+    /// Block until this request resolves: the prediction (normalized
+    /// model output), or a typed error — [`ServeError::WorkerDied`] if
+    /// the serving worker panicked mid-batch (the response channel
+    /// dropped during unwind, and a respawned worker cannot recover a
+    /// batch that died with its thread), [`ServeError::DeadlineExceeded`]
+    /// if the request expired in the queue, [`ServeError::Poisoned`] if
+    /// the pool died terminally while the request waited. A ticket
+    /// never hangs: every accepted request is either served, expired,
+    /// or failed by the worker/pool teardown paths.
     pub fn wait(self) -> Result<f32, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::WorkerDied)
+        self.rx.recv().map_err(|_| ServeError::WorkerDied)?
     }
 }
 
@@ -131,6 +221,12 @@ pub struct BatcherStats {
     pub windows: u64,
     /// Largest coalesced batch observed.
     pub largest_batch: usize,
+    /// Workers respawned after a panic.
+    pub restarts: u64,
+    /// Requests shed at admission (bounded queue full).
+    pub shed: u64,
+    /// Requests that expired in the queue before service.
+    pub deadline_exceeded: u64,
 }
 
 /// Latency and batch-shape distributions for one batcher, as histogram
@@ -150,7 +246,6 @@ pub struct BatcherMetrics {
 /// Micro-batching front end over one engine + one head.
 pub struct Batcher {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl Batcher {
@@ -164,6 +259,7 @@ impl Batcher {
             cfg.head,
             engine.head_kinds()
         );
+        let workers = cfg.workers;
         let shared = Arc::new(Shared {
             engine,
             cfg,
@@ -173,30 +269,52 @@ impl Batcher {
                 poisoned: false,
             }),
             ready: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            live_workers: AtomicUsize::new(workers),
             batches_run: AtomicU64::new(0),
             windows_run: AtomicU64::new(0),
             largest_batch: AtomicUsize::new(0),
+            restarts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             queue_wait: Histogram::new(),
             service: Histogram::new(),
             batch_size: Histogram::new(),
             frozen: Mutex::new(None),
         });
-        let workers = (0..shared.cfg.workers)
-            .map(|_| {
+        {
+            let mut handles = shared.handles.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..workers {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
-        Batcher { shared, workers }
+                handles.push(std::thread::spawn(move || worker_loop(shared)));
+            }
+        }
+        Batcher { shared }
     }
 
     /// Submit one featurized window (`seq_len * NUM_FEATURES` values,
     /// with an aux scalar when the head needs one, e.g. the MCT head's
     /// normalized log message size). Returns immediately; the returned
-    /// [`Ticket`] resolves to the prediction. Malformed requests and a
-    /// dead/shutting-down pool are client-reachable conditions, so they
-    /// come back as [`ServeError`]s instead of panicking the server.
+    /// [`Ticket`] resolves to the prediction. Malformed requests, a
+    /// full queue, and a dead/shutting-down pool are client-reachable
+    /// conditions, so they come back as [`ServeError`]s instead of
+    /// panicking the server. Applies [`BatchConfig::deadline`] when one
+    /// is configured.
     pub fn submit(&self, window: Vec<f32>, aux: Option<f32>) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(window, aux, self.shared.cfg.deadline)
+    }
+
+    /// [`Batcher::submit`] with an explicit per-request deadline
+    /// (overriding the configured default; `None` = wait forever). A
+    /// request still queued when its deadline passes resolves to
+    /// [`ServeError::DeadlineExceeded`] instead of occupying a batch
+    /// slot.
+    pub fn submit_with_deadline(
+        &self,
+        window: Vec<f32>,
+        aux: Option<f32>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
         let want = self.shared.engine.seq_len() * NUM_FEATURES;
         if window.len() != want {
             return Err(ServeError::WindowLength {
@@ -220,6 +338,15 @@ impl Batcher {
         }
         let (tx, rx) = mpsc::channel();
         let enqueued = ntt_obs::enabled().then(Instant::now);
+        let deadline = deadline.map(|d| {
+            enqueued
+                .unwrap_or_else(Instant::now)
+                .checked_add(d)
+                // PANIC-OK: only a near-u64::MAX Duration overflows
+                // Instant arithmetic; such a deadline is a caller bug,
+                // not a runtime condition.
+                .expect("deadline overflows the monotonic clock")
+        });
         {
             // Lock poisoning is tracked by our own `poisoned` flag (the
             // queue holds plain data, always consistent), so recover the
@@ -231,20 +358,45 @@ impl Batcher {
             if q.poisoned {
                 return Err(ServeError::Poisoned);
             }
+            let cap = self.shared.cfg.queue_cap;
+            if cap > 0 && q.pending.len() >= cap {
+                // Load shedding: a bounded queue that answers "no" now
+                // beats an unbounded one that answers late.
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                ntt_obs::counter!("serve.shed_total").inc();
+                return Err(ServeError::Overloaded { cap });
+            }
             q.pending.push_back(Request {
                 window,
                 aux,
                 tx,
                 enqueued,
+                deadline,
             });
+            ntt_obs::gauge!("serve.queue_depth").set(q.pending.len() as f64);
         }
         self.shared.ready.notify_one();
         Ok(Ticket { rx })
     }
 
-    /// False once a worker thread has panicked: the batcher rejects
-    /// further submissions (and has already failed every pending
-    /// ticket) rather than accepting requests nobody will answer.
+    /// Stop admitting requests (subsequent `submit`s return
+    /// [`ServeError::ShuttingDown`]) while the workers drain everything
+    /// already accepted — every ticket in flight still resolves. Called
+    /// automatically on drop; callable early so an operator can drain a
+    /// pool without giving up the handle (and its `stats()`).
+    pub fn shutdown(&self) {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown = true;
+        self.shared.ready.notify_all();
+    }
+
+    /// False once the batcher has poisoned terminally (restart budget
+    /// exhausted, or a respawn failed): it rejects further submissions
+    /// and has already resolved every pending ticket. Individual worker
+    /// panics within budget do *not* unhealth the pool — they respawn.
     pub fn is_healthy(&self) -> bool {
         !self
             .shared
@@ -254,9 +406,9 @@ impl Batcher {
             .poisoned
     }
 
-    /// Batching statistics so far. After a worker panic this returns
-    /// the frozen pre-panic view, so the numbers a post-mortem reads
-    /// are the final ones.
+    /// Batching statistics so far. After terminal poisoning this
+    /// returns the frozen pre-poison view, so the numbers a post-mortem
+    /// reads are the final ones.
     pub fn stats(&self) -> BatcherStats {
         let frozen = self.shared.frozen.lock().unwrap_or_else(|e| e.into_inner());
         match &*frozen {
@@ -267,8 +419,8 @@ impl Batcher {
 
     /// Queue-wait, service-time, and batch-size distributions for this
     /// batcher (its own histograms, not the process-global ones —
-    /// several batchers never mix). Frozen at the last pre-panic view
-    /// once a worker has panicked.
+    /// several batchers never mix). Frozen at the last pre-poison view
+    /// once the pool has died terminally.
     pub fn metrics(&self) -> BatcherMetrics {
         let frozen = self.shared.frozen.lock().unwrap_or_else(|e| e.into_inner());
         match &*frozen {
@@ -282,47 +434,102 @@ impl Drop for Batcher {
     /// Graceful shutdown: workers drain every pending request before
     /// exiting, so already-issued tickets still resolve.
     fn drop(&mut self) {
-        self.shared
-            .queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .shutdown = true;
-        self.shared.ready.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
-
-/// Marks the batcher poisoned if its worker unwinds: pending requests
-/// are dropped (their tickets resolve to an error immediately) and
-/// `submit` starts rejecting, instead of the queue silently accepting
-/// requests no thread will ever answer.
-struct PoisonOnPanic<'a>(&'a Shared);
-
-impl Drop for PoisonOnPanic<'_> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            // Freeze the final stats and metrics first: once the pool
-            // is poisoned the live view stops being meaningful, and a
-            // post-mortem needs the numbers as they stood at the crash.
-            {
-                let snapshot = (self.0.live_stats(), self.0.live_metrics());
-                let mut frozen = self.0.frozen.lock().unwrap_or_else(|e| e.into_inner());
-                frozen.get_or_insert(snapshot);
+        self.shutdown();
+        // Join every worker, including respawns registered while we
+        // drain (a supervisor never respawns after `shutdown` is set,
+        // so the handle list strictly shrinks once this loop starts).
+        loop {
+            let handle = self
+                .shared
+                .handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
             }
-            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.poisoned = true;
-            q.pending.clear(); // drops each request's sender -> wait() errors
-            self.0.ready.notify_all();
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let _poison = PoisonOnPanic(shared);
+/// Supervision guard living on each worker's stack. On a panic it
+/// respawns a replacement worker (within `max_restarts`), so one bad
+/// batch — a poisoned input, an engine bug, an injected chaos fault —
+/// costs its own tickets but never the pool. The panicked batch's
+/// response senders drop during unwind, resolving those tickets with
+/// [`ServeError::WorkerDied`] before the replacement even starts.
+struct Supervise {
+    shared: Arc<Shared>,
+}
+
+impl Drop for Supervise {
+    fn drop(&mut self) {
+        let shared = &self.shared;
+        let was_live = shared.live_workers.fetch_sub(1, Ordering::Relaxed);
+        if !std::thread::panicking() {
+            return; // normal shutdown exit
+        }
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.poisoned {
+            return;
+        }
+        if q.shutdown {
+            // Never respawn into a draining pool. If this was the last
+            // worker, whatever is still queued can no longer be served
+            // — fail those tickets rather than stranding them.
+            if was_live == 1 {
+                for r in q.pending.drain(..) {
+                    let _ = r.tx.send(Err(ServeError::WorkerDied));
+                }
+            }
+            return;
+        }
+        // Charge the restart budget; exhaustion is terminal.
+        let within_budget = shared
+            .restarts
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < shared.cfg.max_restarts as u64).then_some(n + 1)
+            })
+            .is_ok();
+        if !within_budget {
+            shared.poison(&mut q);
+            return;
+        }
+        ntt_obs::counter!("serve.worker_restarts").inc();
+        shared.live_workers.fetch_add(1, Ordering::Relaxed);
+        let respawn = Arc::clone(shared);
+        match std::thread::Builder::new().spawn(move || worker_loop(respawn)) {
+            Ok(handle) => {
+                // Still holding the queue lock: `Batcher::drop` sets
+                // `shutdown` under it, so the handle is registered
+                // before any join loop can begin, or not spawned at
+                // all.
+                shared
+                    .handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(handle);
+            }
+            Err(_) => {
+                // Could not replace the worker (thread exhaustion):
+                // the pool can no longer honor its contract.
+                shared.live_workers.fetch_sub(1, Ordering::Relaxed);
+                shared.poison(&mut q);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let _supervise = Supervise {
+        shared: Arc::clone(&shared),
+    };
     loop {
-        // Claim an arrival-order run from the queue front.
+        // Claim an arrival-order run from the queue front, dropping
+        // requests whose deadline already passed.
         let batch: Vec<Request> = {
             // Lock/condvar poisoning maps to our own `poisoned` flag;
             // recovering the guard here keeps the drain loop alive so
@@ -338,8 +545,37 @@ fn worker_loop(shared: &Shared) {
                 q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
             let n = q.pending.len().min(shared.cfg.max_batch);
-            q.pending.drain(..n).collect()
+            let claimed: Vec<Request> = q.pending.drain(..n).collect();
+            ntt_obs::gauge!("serve.queue_depth").set(q.pending.len() as f64);
+            drop(q);
+            // One clock read per claim covers every carried deadline.
+            let now = claimed
+                .iter()
+                .any(|r| r.deadline.is_some())
+                .then(Instant::now);
+            let mut live = Vec::with_capacity(claimed.len());
+            for r in claimed {
+                match (r.deadline, now) {
+                    (Some(d), Some(now)) if now >= d => {
+                        shared.expired.fetch_add(1, Ordering::Relaxed);
+                        ntt_obs::counter!("serve.deadline_exceeded").inc();
+                        let _ = r.tx.send(Err(ServeError::DeadlineExceeded));
+                    }
+                    _ => live.push(r),
+                }
+            }
+            if live.is_empty() {
+                continue; // the whole claim had expired
+            }
+            live
         };
+
+        // Chaos sites: a seeded plan can stall this worker (slow
+        // consumer — the queue backs up and admission sheds) or crash
+        // it mid-batch (exercising ticket fail-fast + respawn). Both
+        // compile to one relaxed load when chaos is off.
+        ntt_chaos::maybe_delay("serve.worker.stall");
+        ntt_chaos::maybe_panic("serve.worker.panic");
 
         // Queue wait: submit -> claim, one clock read for the batch.
         if ntt_obs::enabled() {
@@ -387,8 +623,8 @@ fn worker_loop(shared: &Shared) {
         shared.batch_size.record(b as u64);
         ntt_obs::histogram!("serve.batch_size").record(b as u64);
         // Service time = stack + forward pass, recorded *before* the
-        // responses go out so a caller who has seen every ticket
-        // resolve also sees every service sample.
+        // responses go out so a caller that saw every ticket resolve
+        // also sees every service sample.
         if let Some(t0) = service_t0 {
             let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             shared.service.record_always(ns);
@@ -396,7 +632,7 @@ fn worker_loop(shared: &Shared) {
         }
         for (r, &z) in batch.iter().zip(out.data()) {
             // A dropped ticket (caller gave up) is not an error.
-            let _ = r.tx.send(z);
+            let _ = r.tx.send(Ok(z));
         }
     }
 }
@@ -405,6 +641,9 @@ fn worker_loop(shared: &Shared) {
 mod tests {
     use super::*;
     use crate::test_util::tiny_engine;
+    use ntt_core::DelayHead;
+    use ntt_nn::{Head, Module};
+    use ntt_tensor::{Param, Var};
 
     fn windows(engine: &InferenceEngine, n: usize, seed: u64) -> Vec<Vec<f32>> {
         let row = engine.seq_len() * NUM_FEATURES;
@@ -412,6 +651,129 @@ mod tests {
         (0..n)
             .map(|i| all.data()[i * row..(i + 1) * row].to_vec())
             .collect()
+    }
+
+    /// Delegates to a real delay head but panics on configured calls —
+    /// stands in for transient or persistent engine failures.
+    struct FlakyHead {
+        inner: DelayHead,
+        calls: AtomicUsize,
+        /// Calls (0-based) that panic.
+        boom: &'static [usize],
+    }
+    impl FlakyHead {
+        fn boxed(d_model: usize, boom: &'static [usize]) -> Box<dyn Head> {
+            Box::new(FlakyHead {
+                inner: DelayHead::new(d_model, 1),
+                calls: AtomicUsize::new(0),
+                boom,
+            })
+        }
+    }
+    impl Module for FlakyHead {
+        fn params(&self) -> Vec<Param> {
+            self.inner.params()
+        }
+    }
+    impl Head for FlakyHead {
+        fn kind(&self) -> &'static str {
+            "flaky"
+        }
+        fn d_model(&self) -> usize {
+            self.inner.d_model()
+        }
+        fn forward_head<'t>(
+            &self,
+            tape: &'t ntt_tensor::Tape,
+            encoded: Var<'t>,
+            aux: Option<Var<'t>>,
+        ) -> Var<'t> {
+            let call = self.calls.fetch_add(1, Ordering::SeqCst);
+            if self.boom.contains(&call) {
+                panic!("injected head failure");
+            }
+            self.inner.forward_head(tape, encoded, aux)
+        }
+    }
+
+    /// Blocks every forward until released — deterministic queue
+    /// pressure for the overload and deadline tests.
+    struct GateHead {
+        inner: DelayHead,
+        entered: AtomicUsize,
+        open: std::sync::atomic::AtomicBool,
+    }
+    impl Module for GateHead {
+        fn params(&self) -> Vec<Param> {
+            self.inner.params()
+        }
+    }
+    impl Head for GateHead {
+        fn kind(&self) -> &'static str {
+            "gate"
+        }
+        fn d_model(&self) -> usize {
+            self.inner.d_model()
+        }
+        fn forward_head<'t>(
+            &self,
+            tape: &'t ntt_tensor::Tape,
+            encoded: Var<'t>,
+            aux: Option<Var<'t>>,
+        ) -> Var<'t> {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            while !self.open.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            self.inner.forward_head(tape, encoded, aux)
+        }
+    }
+
+    /// Engine around one custom head plus an `Arc` handle to it.
+    fn engine_with_gate() -> (Arc<InferenceEngine>, Arc<GateHead>) {
+        let cfg = crate::test_util::tiny_cfg(0.0);
+        let gate = Arc::new(GateHead {
+            inner: DelayHead::new(cfg.d_model, 1),
+            entered: AtomicUsize::new(0),
+            open: std::sync::atomic::AtomicBool::new(false),
+        });
+        struct Fwd(Arc<GateHead>);
+        impl Module for Fwd {
+            fn params(&self) -> Vec<Param> {
+                self.0.params()
+            }
+        }
+        impl Head for Fwd {
+            fn kind(&self) -> &'static str {
+                "gate"
+            }
+            fn d_model(&self) -> usize {
+                self.0.d_model()
+            }
+            fn forward_head<'t>(
+                &self,
+                tape: &'t ntt_tensor::Tape,
+                encoded: Var<'t>,
+                aux: Option<Var<'t>>,
+            ) -> Var<'t> {
+                self.0.forward_head(tape, encoded, aux)
+            }
+        }
+        let eng = Arc::new(InferenceEngine::from_parts(
+            ntt_core::Ntt::new(cfg),
+            vec![Box::new(Fwd(Arc::clone(&gate)))],
+            ntt_data::Normalizer::identity(NUM_FEATURES),
+        ));
+        (eng, gate)
+    }
+
+    fn flaky_engine(boom: &'static [usize]) -> Arc<InferenceEngine> {
+        let cfg = crate::test_util::tiny_cfg(0.0);
+        Arc::new(InferenceEngine::from_parts(
+            ntt_core::Ntt::new(cfg),
+            vec![FlakyHead::boxed(cfg.d_model, boom)],
+            ntt_data::Normalizer::identity(NUM_FEATURES),
+        ))
     }
 
     #[test]
@@ -432,6 +794,7 @@ mod tests {
                 max_batch: 4,
                 workers: 2,
                 head: "delay",
+                ..BatchConfig::default()
             },
         );
         let tickets: Vec<Ticket> = ws
@@ -445,6 +808,8 @@ mod tests {
         assert_eq!(stats.windows, 13);
         assert!(stats.batches >= 4, "13 windows over max_batch 4");
         assert!(stats.largest_batch <= 4);
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.shed, 0);
     }
 
     #[test]
@@ -464,6 +829,28 @@ mod tests {
     }
 
     #[test]
+    fn explicit_shutdown_drains_then_rejects() {
+        let eng = Arc::new(tiny_engine(0.0));
+        let ws = windows(&eng, 5, 11);
+        let batcher = Batcher::new(Arc::clone(&eng), BatchConfig::default());
+        let tickets: Vec<Ticket> = ws
+            .iter()
+            .map(|w| batcher.submit(w.clone(), None).unwrap())
+            .collect();
+        batcher.shutdown();
+        // Already-accepted requests all resolve...
+        for t in tickets {
+            assert!(t.wait().unwrap().is_finite());
+        }
+        // ...new ones are refused, and the handle still reports stats.
+        assert_eq!(
+            batcher.submit(ws[0].clone(), None).err(),
+            Some(ServeError::ShuttingDown)
+        );
+        assert_eq!(batcher.stats().windows, 5);
+    }
+
+    #[test]
     fn aux_rides_along_for_mct_requests() {
         let eng = Arc::new(tiny_engine(0.0));
         let ws = windows(&eng, 5, 5);
@@ -473,6 +860,7 @@ mod tests {
                 max_batch: 3,
                 workers: 1,
                 head: "mct",
+                ..BatchConfig::default()
             },
         );
         let expect: Vec<f32> = ws
@@ -495,70 +883,209 @@ mod tests {
     }
 
     #[test]
-    fn panicking_worker_poisons_instead_of_hanging() {
-        use ntt_nn::{Head, Module};
-        use ntt_tensor::{Param, Var};
-
-        /// A head that panics on every forward — stands in for any
-        /// unexpected engine panic mid-batch.
-        struct BoomHead;
-        impl Module for BoomHead {
-            fn params(&self) -> Vec<Param> {
-                Vec::new()
-            }
-        }
-        impl Head for BoomHead {
-            fn kind(&self) -> &'static str {
-                "boom"
-            }
-            fn d_model(&self) -> usize {
-                16
-            }
-            fn forward_head<'t>(
-                &self,
-                _tape: &'t ntt_tensor::Tape,
-                _encoded: Var<'t>,
-                _aux: Option<Var<'t>>,
-            ) -> Var<'t> {
-                panic!("injected head failure");
-            }
-        }
-
-        let cfg = crate::test_util::tiny_cfg(0.0);
-        let eng = Arc::new(InferenceEngine::from_parts(
-            ntt_core::Ntt::new(cfg),
-            vec![Box::new(BoomHead)],
-            ntt_data::Normalizer::identity(NUM_FEATURES),
-        ));
+    fn panicked_worker_respawns_and_the_pool_keeps_serving() {
+        // Call 0 panics; every later call succeeds. The first request's
+        // ticket fails fast, a replacement worker spawns, and the pool
+        // serves the rest as if nothing happened.
+        let eng = flaky_engine(&[0]);
         let batcher = Batcher::new(
             Arc::clone(&eng),
             BatchConfig {
-                max_batch: 4,
+                max_batch: 1,
                 workers: 1,
-                head: "boom",
+                head: "flaky",
+                ..BatchConfig::default()
             },
         );
         let row = eng.seq_len() * NUM_FEATURES;
-        let ticket = batcher.submit(vec![0.0; row], None).unwrap();
-        // The in-flight ticket must resolve to an error, not hang...
+        let doomed = batcher.submit(vec![0.0; row], None).unwrap();
         assert_eq!(
-            ticket.wait(),
+            doomed.wait(),
             Err(ServeError::WorkerDied),
-            "ticket of a panicked batch must fail, not block"
+            "the in-flight ticket of a panicked batch fails fast"
         );
-        // ...the batcher must report itself dead (the request's sender
-        // drops during unwind slightly before the poison guard runs,
-        // so give the dying worker a moment)...
+        // The respawned worker serves subsequent requests.
+        for i in 0..4 {
+            let t = batcher.submit(vec![0.1 * i as f32; row], None).unwrap();
+            assert!(t.wait().unwrap().is_finite(), "request {i} after respawn");
+        }
+        assert!(batcher.is_healthy(), "a respawn within budget is healthy");
+        let stats = batcher.stats();
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.windows, 4, "stats keep moving after the restart");
+    }
+
+    #[test]
+    fn queued_requests_survive_a_worker_panic() {
+        // Two requests queued back-to-back; serving the first panics
+        // (max_batch 1 keeps them in separate batches). The second must
+        // be served by the replacement worker, not dropped.
+        let eng = flaky_engine(&[0]);
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 1,
+                workers: 1,
+                head: "flaky",
+                ..BatchConfig::default()
+            },
+        );
+        let row = eng.seq_len() * NUM_FEATURES;
+        let doomed = batcher.submit(vec![0.0; row], None).unwrap();
+        let survivor = batcher.submit(vec![0.5; row], None).unwrap();
+        assert_eq!(doomed.wait(), Err(ServeError::WorkerDied));
+        assert!(
+            survivor.wait().unwrap().is_finite(),
+            "a queued request must survive the panic and be served by the respawn"
+        );
+    }
+
+    #[test]
+    fn exhausted_restart_budget_poisons_terminally() {
+        // Every call panics and the budget is one respawn: the second
+        // panic poisons the pool — submissions reject, pending tickets
+        // resolve, and stats freeze.
+        let eng = flaky_engine(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 1,
+                workers: 1,
+                head: "flaky",
+                max_restarts: 1,
+                ..BatchConfig::default()
+            },
+        );
+        let row = eng.seq_len() * NUM_FEATURES;
+        assert_eq!(
+            batcher.submit(vec![0.0; row], None).unwrap().wait(),
+            Err(ServeError::WorkerDied)
+        );
+        assert_eq!(
+            batcher.submit(vec![0.1; row], None).unwrap().wait(),
+            Err(ServeError::WorkerDied)
+        );
+        // The second panic exhausted the budget; the poison flag is set
+        // by the dying worker's supervisor, so give it a moment.
         let t0 = std::time::Instant::now();
         while batcher.is_healthy() && t0.elapsed().as_secs() < 5 {
             std::thread::yield_now();
         }
         assert!(!batcher.is_healthy());
-        // ...and further submissions must be rejected loudly.
+        assert_eq!(
+            batcher.submit(vec![0.2; row], None).err(),
+            Some(ServeError::Poisoned)
+        );
+        let stats = batcher.stats();
+        assert_eq!(stats.restarts, 1, "one respawn happened before poisoning");
+    }
+
+    #[test]
+    fn legacy_zero_budget_poisons_on_first_panic() {
+        // max_restarts: 0 restores the old poison-on-first-panic
+        // behavior exactly.
+        let eng = flaky_engine(&[0]);
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 4,
+                workers: 1,
+                head: "flaky",
+                max_restarts: 0,
+                ..BatchConfig::default()
+            },
+        );
+        let row = eng.seq_len() * NUM_FEATURES;
+        let ticket = batcher.submit(vec![0.0; row], None).unwrap();
+        assert_eq!(ticket.wait(), Err(ServeError::WorkerDied));
+        let t0 = std::time::Instant::now();
+        while batcher.is_healthy() && t0.elapsed().as_secs() < 5 {
+            std::thread::yield_now();
+        }
+        assert!(!batcher.is_healthy());
         assert_eq!(
             batcher.submit(vec![0.0; row], None).err(),
             Some(ServeError::Poisoned)
         );
+        assert_eq!(batcher.stats().restarts, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        let (eng, gate) = engine_with_gate();
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 1,
+                workers: 1,
+                head: "gate",
+                queue_cap: 3,
+                ..BatchConfig::default()
+            },
+        );
+        let row = eng.seq_len() * NUM_FEATURES;
+        // First request gets claimed and blocks inside the head.
+        let served = batcher.submit(vec![0.0; row], None).unwrap();
+        let t0 = std::time::Instant::now();
+        while gate.entered.load(Ordering::SeqCst) == 0 && t0.elapsed().as_secs() < 5 {
+            std::thread::yield_now();
+        }
+        assert_eq!(gate.entered.load(Ordering::SeqCst), 1, "worker is gated");
+        // Fill the bounded queue...
+        let queued: Vec<Ticket> = (0..3)
+            .map(|i| batcher.submit(vec![0.1 * i as f32; row], None).unwrap())
+            .collect();
+        // ...and the next admission sheds instead of queuing unboundedly.
+        assert_eq!(
+            batcher.submit(vec![0.9; row], None).err(),
+            Some(ServeError::Overloaded { cap: 3 })
+        );
+        assert_eq!(batcher.stats().shed, 1);
+        // Release the gate: everything accepted still resolves.
+        gate.open.store(true, Ordering::SeqCst);
+        assert!(served.wait().unwrap().is_finite());
+        for t in queued {
+            assert!(t.wait().unwrap().is_finite());
+        }
+        assert_eq!(batcher.stats().shed, 1, "accounting survives the drain");
+    }
+
+    #[test]
+    fn expired_deadline_resolves_instead_of_occupying_a_batch() {
+        let (eng, gate) = engine_with_gate();
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 4,
+                workers: 1,
+                head: "gate",
+                ..BatchConfig::default()
+            },
+        );
+        let row = eng.seq_len() * NUM_FEATURES;
+        // Gate the worker on a first request...
+        let served = batcher.submit(vec![0.0; row], None).unwrap();
+        let t0 = std::time::Instant::now();
+        while gate.entered.load(Ordering::SeqCst) == 0 && t0.elapsed().as_secs() < 5 {
+            std::thread::yield_now();
+        }
+        // ...queue one request with an already-tiny deadline and one
+        // without; let the deadline lapse before opening the gate.
+        let doomed = batcher
+            .submit_with_deadline(vec![0.1; row], None, Some(Duration::from_millis(1)))
+            .unwrap();
+        let patient = batcher.submit(vec![0.2; row], None).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        gate.open.store(true, Ordering::SeqCst);
+        assert!(served.wait().unwrap().is_finite());
+        assert_eq!(doomed.wait(), Err(ServeError::DeadlineExceeded));
+        assert!(
+            patient.wait().unwrap().is_finite(),
+            "an expired neighbor must not take the batch down with it"
+        );
+        let stats = batcher.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.windows, 2, "expired requests never reach the engine");
     }
 
     #[test]
@@ -572,6 +1099,7 @@ mod tests {
                 max_batch: 4,
                 workers: 1,
                 head: "delay",
+                ..BatchConfig::default()
             },
         );
         let tickets: Vec<Ticket> = ws
@@ -596,61 +1124,18 @@ mod tests {
 
     #[test]
     fn poison_freezes_final_stats_and_metrics() {
-        use ntt_core::DelayHead;
-        use ntt_nn::{Head, Module};
-        use ntt_tensor::{Param, Var};
-        use std::sync::atomic::AtomicUsize;
-
-        /// Delegates to a real delay head for the first `ok` batches,
-        /// then panics — a mid-service failure after useful work.
-        struct FlakyHead {
-            inner: DelayHead,
-            calls: AtomicUsize,
-            ok: usize,
-        }
-        impl Module for FlakyHead {
-            fn params(&self) -> Vec<Param> {
-                self.inner.params()
-            }
-        }
-        impl Head for FlakyHead {
-            fn kind(&self) -> &'static str {
-                "flaky"
-            }
-            fn d_model(&self) -> usize {
-                self.inner.d_model()
-            }
-            fn forward_head<'t>(
-                &self,
-                tape: &'t ntt_tensor::Tape,
-                encoded: Var<'t>,
-                aux: Option<Var<'t>>,
-            ) -> Var<'t> {
-                if self.calls.fetch_add(1, Ordering::SeqCst) >= self.ok {
-                    panic!("injected head failure");
-                }
-                self.inner.forward_head(tape, encoded, aux)
-            }
-        }
-
         ntt_obs::set_enabled(true);
-        let cfg = crate::test_util::tiny_cfg(0.0);
-        let head = FlakyHead {
-            inner: DelayHead::new(cfg.d_model, 1),
-            calls: AtomicUsize::new(0),
-            ok: 1,
-        };
-        let eng = Arc::new(InferenceEngine::from_parts(
-            ntt_core::Ntt::new(cfg),
-            vec![Box::new(head)],
-            ntt_data::Normalizer::identity(NUM_FEATURES),
-        ));
+        // First call succeeds, the second panics; a zero restart budget
+        // makes that panic terminal.
+        let eng = flaky_engine(&[1]);
         let batcher = Batcher::new(
             Arc::clone(&eng),
             BatchConfig {
                 max_batch: 1,
                 workers: 1,
                 head: "flaky",
+                max_restarts: 0,
+                ..BatchConfig::default()
             },
         );
         let row = eng.seq_len() * NUM_FEATURES;
@@ -669,8 +1154,8 @@ mod tests {
             std::thread::yield_now();
         }
         assert!(!batcher.is_healthy());
-        // The pre-panic numbers survive the poison: one successful
-        // batch of one window, with its latency samples intact.
+        // The pre-poison numbers survive: one successful batch of one
+        // window, with its latency samples intact.
         let stats = batcher.stats();
         assert_eq!(stats.batches, 1, "final stats must be frozen, not reset");
         assert_eq!(stats.windows, 1);
@@ -678,7 +1163,7 @@ mod tests {
         assert_eq!(m.batch_size.count, 1);
         assert_eq!(m.batch_size.sum, 1);
         assert_eq!(m.service_ns.count, 1);
-        // Both waiting requests were claimed before the crash point.
+        // Both requests were claimed before the crash point.
         assert_eq!(m.queue_wait_ns.count, 2);
     }
 

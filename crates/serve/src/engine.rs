@@ -141,6 +141,11 @@ impl InferenceEngine {
             aux.is_some(),
             "{kind:?} head aux-input mismatch"
         );
+        // Chaos site: a seeded plan can stretch this forward pass
+        // (simulating a slow model or contended accelerator) so the
+        // layers above prove their queue bounds and deadlines hold
+        // under slow service. One relaxed load when chaos is off.
+        ntt_chaos::maybe_delay("serve.predict.delay");
         // The reset seed is constant: nothing stochastic runs in eval
         // mode, and a fixed seed keeps serving a pure function of the
         // inputs. Inputs are staged as arena-pooled copies, so a warm

@@ -26,6 +26,12 @@ pub enum ServeError {
     /// The worker serving this request died before answering; the
     /// ticket can never resolve.
     WorkerDied,
+    /// The admission queue is full (`cap` requests waiting): the
+    /// batcher sheds load instead of queuing unboundedly. Back off and
+    /// retry.
+    Overloaded { cap: usize },
+    /// The request's deadline passed before a worker could serve it.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServeError {
@@ -47,6 +53,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::WorkerDied => {
                 write!(f, "batcher worker died before answering")
+            }
+            ServeError::Overloaded { cap } => {
+                write!(f, "batcher queue is full ({cap} requests waiting)")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline passed before a worker claimed it")
             }
         }
     }

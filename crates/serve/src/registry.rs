@@ -37,8 +37,22 @@ impl ModelRegistry {
     /// Load an `NTTCKPT2` checkpoint under `name`. Replaces any engine
     /// previously registered under that name (in-flight requests on the
     /// old engine finish on their own `Arc`).
+    ///
+    /// **Atomic on failure — last-good retention.** The checkpoint is
+    /// fully read, validated, and instantiated *before* the map is
+    /// touched; a corrupt, truncated, or missing file returns the
+    /// `io::Error` and leaves any engine already live under `name`
+    /// serving untouched. A hot-swap that fails therefore degrades to
+    /// "keep the last good model", never to "no model". Failed loads
+    /// count on `serve.registry.load_failures`.
     pub fn load(&self, name: &str, path: impl AsRef<Path>) -> io::Result<Arc<InferenceEngine>> {
-        let engine = Arc::new(InferenceEngine::load(path)?);
+        let engine = match InferenceEngine::load(path) {
+            Ok(e) => Arc::new(e),
+            Err(e) => {
+                ntt_obs::counter!("serve.registry.load_failures").inc();
+                return Err(e);
+            }
+        };
         // A poisoned lock means some writer panicked mid-update; the
         // map itself (String -> Arc) is never torn, so recover it.
         let mut map = self.engines.write().unwrap_or_else(|e| e.into_inner());
@@ -131,5 +145,51 @@ mod tests {
         assert!(Arc::ptr_eq(&loaded, &reg.get("m").unwrap()));
         assert!(reg.load("bad", "/nonexistent/file.ckpt").is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn failed_hot_swap_keeps_the_last_good_model() {
+        // A rollout writes a damaged checkpoint and reloads it over a
+        // live name: the load must fail with a typed io::Error and the
+        // registry must keep serving the previous engine — atomic on
+        // failure, no window where `get` comes back empty or broken.
+        let eng = tiny_engine(0.0);
+        let dir = std::env::temp_dir();
+        let good = dir.join(format!("ntt_lastgood_ok_{}.ckpt", std::process::id()));
+        let bad = dir.join(format!("ntt_lastgood_bad_{}.ckpt", std::process::id()));
+        crate::test_util::save_engine_checkpoint(&eng, &good);
+        // Damage two ways: truncation (mid-file cut) and corruption
+        // (flipped byte under an intact length).
+        let bytes = std::fs::read(&good).expect("read good checkpoint");
+        let reg = ModelRegistry::new();
+        let live = reg.load("model", &good).expect("initial load");
+        for (label, damaged) in [
+            ("truncated", bytes[..bytes.len() / 3].to_vec()),
+            ("corrupted", {
+                let mut b = bytes.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x5a;
+                b
+            }),
+        ] {
+            std::fs::write(&bad, &damaged).expect("write damaged checkpoint");
+            let err = match reg.load("model", &bad) {
+                Err(e) => e,
+                Ok(_) => panic!("{label} checkpoint must fail to load"),
+            };
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{label}");
+            // The old engine is still the registered one, still serving.
+            let still = reg.get("model").expect("name still registered");
+            assert!(
+                Arc::ptr_eq(&still, &live),
+                "{label} load must not disturb the live engine"
+            );
+            assert_eq!(reg.len(), 1);
+        }
+        // A subsequent good load still swaps cleanly.
+        let swapped = reg.load("model", &good).expect("recovery load");
+        assert!(!Arc::ptr_eq(&swapped, &live), "fresh engine after recovery");
+        std::fs::remove_file(good).ok();
+        std::fs::remove_file(bad).ok();
     }
 }

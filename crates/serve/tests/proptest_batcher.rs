@@ -67,7 +67,7 @@ proptest! {
 
         let batcher = Batcher::new(
             Arc::clone(&engine),
-            BatchConfig { max_batch, workers, head: "delay" },
+            BatchConfig { max_batch, workers, head: "delay", ..BatchConfig::default() },
         );
 
         // Submit everything, waiting on random subsets of outstanding
@@ -127,7 +127,7 @@ proptest! {
 
         let batcher = Batcher::new(
             Arc::clone(&engine),
-            BatchConfig { max_batch, workers: 2, head: "mct" },
+            BatchConfig { max_batch, workers: 2, head: "mct", ..BatchConfig::default() },
         );
         let tickets: Vec<Ticket> = windows
             .iter()
@@ -137,5 +137,78 @@ proptest! {
         for (t, e) in tickets.into_iter().zip(&expect) {
             prop_assert_eq!(t.wait().unwrap().to_bits(), e.to_bits());
         }
+    }
+
+    /// Submissions racing a shutdown must never hang or lose a request:
+    /// every `submit` either rejects with `ShuttingDown`/`Poisoned`
+    /// (nothing was queued) or returns a ticket that resolves — and in
+    /// the no-fault case, resolves to the correct answer. This is the
+    /// drain contract of `Batcher::shutdown`/`Drop` exercised from many
+    /// threads at a random point in the submission stream.
+    #[test]
+    fn shutdown_racing_concurrent_submits_never_strands_a_ticket(
+        producers in 1usize..4,
+        per_producer in 1usize..12,
+        max_batch in 1usize..5,
+        workers in 1usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let engine = tiny_engine();
+        let all = Tensor::randn(&[1, engine.seq_len(), NUM_FEATURES], seed ^ 0x5151);
+        let window = rows(&engine, &all).remove(0);
+        let expect = {
+            let x = Tensor::from_vec(window.clone(), &[1, engine.seq_len(), NUM_FEATURES]);
+            engine.predict("delay", &x, None).item()
+        };
+
+        let batcher = Batcher::new(
+            Arc::clone(&engine),
+            BatchConfig { max_batch, workers, head: "delay", ..BatchConfig::default() },
+        );
+        // A random fraction of the stream goes in before shutdown is
+        // even signalled; the rest races it.
+        let before = {
+            let mut s = seed ^ 0xd00d;
+            (splitmix64(&mut s) as usize) % (producers * per_producer + 1)
+        };
+        let accepted = std::sync::atomic::AtomicUsize::new(0);
+        let rejected = std::sync::atomic::AtomicUsize::new(0);
+        let resolved = std::sync::atomic::AtomicUsize::new(0);
+        let submitted = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..producers {
+                s.spawn(|| {
+                    for _ in 0..per_producer {
+                        submitted.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        match batcher.submit(window.clone(), None) {
+                            Ok(t) => {
+                                accepted.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                                // An accepted ticket always resolves —
+                                // with the right bits, since no worker
+                                // faults in this test.
+                                assert_eq!(t.wait().unwrap().to_bits(), expect.to_bits());
+                                resolved.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            }
+                            Err(e) => {
+                                assert_eq!(e, ntt_serve::ServeError::ShuttingDown);
+                                rejected.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            }
+                        }
+                    }
+                });
+            }
+            // Shut down somewhere in the middle of the stream.
+            while submitted.load(std::sync::atomic::Ordering::SeqCst) < before {
+                std::thread::yield_now();
+            }
+            batcher.shutdown();
+        });
+        let accepted = accepted.into_inner();
+        let rejected = rejected.into_inner();
+        prop_assert_eq!(accepted + rejected, producers * per_producer);
+        prop_assert_eq!(resolved.into_inner(), accepted, "every accepted ticket resolved");
+        // Post-drain accounting agrees: each accepted request was served.
+        prop_assert_eq!(batcher.stats().windows, accepted as u64);
+        drop(batcher); // drop after shutdown: drain already done, joins cleanly
     }
 }

@@ -22,6 +22,10 @@
 //! * [`obs`] — zero-overhead observability: process-global counters,
 //!   gauges, log-scale latency histograms, RAII span timers, and
 //!   JSON/Prometheus snapshot export (`NTT_OBS=off` kill switch)
+//! * [`chaos`] — deterministic fault injection: seed-driven schedules
+//!   of worker panics, injected latency, read corruption, and queue
+//!   stalls (`NTT_CHAOS` spec, off by default), driving the serving
+//!   stack's self-healing paths with replayable failures
 //!
 //! ```
 //! use ntt::sim::scenarios::{run, Scenario, ScenarioConfig};
@@ -36,6 +40,7 @@
 //! assert!(train.len() > 0);
 //! ```
 
+pub use ntt_chaos as chaos;
 pub use ntt_core as core;
 pub use ntt_data as data;
 pub use ntt_fleet as fleet;
