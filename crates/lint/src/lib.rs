@@ -16,11 +16,12 @@
 //!   exempt.
 //! - **R2** no `HashMap`/`HashSet` in non-test code of the
 //!   deterministic crates (tensor, nn, core, fleet, data, sim).
-//! - **R3** no `Instant::now` / `SystemTime` outside obs, serve, bench.
+//! - **R3** no `Instant::now` / `SystemTime` outside obs, serve, bench, net.
 //! - **R4** no `thread_rng` / `from_entropy` / `RandomState` anywhere.
 //! - **R5** `#[allow(...)]` and non-`Relaxed` atomic `Ordering`s need a
 //!   justification comment.
-//! - **R6** `.unwrap()` / `.expect()` in `crates/serve` needs a
+//! - **R6** `.unwrap()` / `.expect()` in `crates/serve` and
+//!   `crates/net` needs a
 //!   `// PANIC-OK:` style justification.
 //!
 //! Everything is built on a hand-rolled lexer ([`lexer`]) so matches

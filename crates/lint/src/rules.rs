@@ -25,7 +25,11 @@ pub struct Finding {
 const DETERMINISTIC_CRATES: &[&str] = &["tensor", "nn", "core", "fleet", "data", "sim"];
 
 /// Crates allowed to read the wall clock (R3 allowlist).
-const WALLCLOCK_ALLOWED: &[&str] = &["obs", "serve", "bench"];
+const WALLCLOCK_ALLOWED: &[&str] = &["obs", "serve", "bench", "net"];
+
+/// Crates whose request paths carry the R6 unwrap/expect budget: code a
+/// remote client can reach must answer with typed errors, not panics.
+const PANIC_BUDGETED_CRATES: &[&str] = &["serve", "net"];
 
 /// Atomic orderings stronger than `Relaxed` (R5b).
 const STRONG_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
@@ -197,7 +201,7 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
     let krate = crate_of(path);
     let deterministic = DETERMINISTIC_CRATES.contains(&krate);
     let clock_ok = WALLCLOCK_ALLOWED.contains(&krate);
-    let serve = krate == "serve";
+    let panic_budgeted = PANIC_BUDGETED_CRATES.contains(&krate);
     let mut out = Vec::new();
     let mut push = |line: u32, rule: &'static str, message: String| {
         out.push(Finding {
@@ -264,7 +268,7 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
                     "R3",
                     format!(
                         "`Instant::now()` in crate `{krate}` — wall clock reads \
-                         belong in obs/serve/bench (use `ntt_obs::Stopwatch`)"
+                         belong in obs/serve/bench/net (use `ntt_obs::Stopwatch`)"
                     ),
                 );
             }
@@ -274,7 +278,7 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
                     "R3",
                     format!(
                         "`SystemTime` in crate `{krate}` — wall clock reads \
-                         belong in obs/serve/bench"
+                         belong in obs/serve/bench/net"
                     ),
                 );
             }
@@ -328,8 +332,8 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
             }
         }
 
-        // R6: unwrap()/expect() budget in crates/serve.
-        if serve
+        // R6: unwrap()/expect() budget on serving paths (serve + net).
+        if panic_budgeted
             && t.is_sym('.')
             && i + 2 < n
             && (toks[i + 1].is_word("unwrap") || toks[i + 1].is_word("expect"))
@@ -446,6 +450,8 @@ mod tests {
         assert!(rules_hit("crates/obs/src/x.rs", src).is_empty());
         assert!(rules_hit("crates/serve/src/x.rs", src).is_empty());
         assert!(rules_hit("crates/bench/src/x.rs", src).is_empty());
+        // The wire tier measures deadlines and gather windows.
+        assert!(rules_hit("crates/net/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -520,11 +526,22 @@ mod tests {
     }
 
     #[test]
-    fn r6_only_applies_to_serve_and_not_tests() {
+    fn r6_only_applies_to_serving_crates_and_not_tests() {
         let src = "fn f(x: Option<u8>) { x.unwrap(); }";
         assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests { fn f(x: Option<u8>) { x.unwrap(); } }";
         assert!(rules_hit("crates/serve/src/x.rs", test_src).is_empty());
+        assert!(rules_hit("crates/net/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn r6_covers_net_request_paths() {
+        // A remote client reaches crates/net code directly: the same
+        // no-panic budget as crates/serve applies.
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(rules_hit("crates/net/src/server.rs", src), vec!["R6"]);
+        let ok = "fn f(x: Option<u8>) {\n    // PANIC-OK: checked above.\n    x.unwrap();\n}";
+        assert!(rules_hit("crates/net/src/server.rs", ok).is_empty());
     }
 
     #[test]

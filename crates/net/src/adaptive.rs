@@ -1,0 +1,319 @@
+//! SLO-adaptive batching: hold a p99 latency target by retuning
+//! `max_batch` from the Batcher's own histograms.
+//!
+//! The tension adaptive batching resolves: big batches amortize
+//! per-request fixed costs (good at high load), but with a gather
+//! window configured, an oversized `max_batch` at *low* load makes
+//! every request wait out the window before its batch is cut — the
+//! batch limit itself becomes the p99. The controller watches each
+//! pool's queue-wait + service distributions over its own tick and
+//! applies a two-signal AIMD step ([`next_max_batch`]):
+//!
+//! * **p99 over target, batches under-filled** → the gather wait *is*
+//!   the latency; halve `max_batch` so claims cut as soon as the
+//!   observed concurrency arrives (multiplicative decrease reacts in a
+//!   few ticks).
+//! * **p99 over target, batches saturated** → the pool is genuinely
+//!   behind; grow `max_batch` so each forward pass amortizes more
+//!   requests.
+//! * **p99 comfortably under target (≤ half), batches saturated, and
+//!   queue wait dominating service (backlog evidence)** → headroom
+//!   exists and more coalescing would amortize real demand; creep up
+//!   by one (additive increase keeps the probe gentle). Full batches
+//!   *without* backlog mean arrivals exactly match the limit — growing
+//!   then only re-opens the gather wait, so the controller holds.
+//! * otherwise hold.
+//!
+//! Everything here is pure math over [`HistogramSnapshot`] values —
+//! the controller *thread* lives in the server, this module is fully
+//! unit-testable without sockets, clocks, or pools. Per-tick views are
+//! deltas ([`delta`]): cumulative histograms are subtracted
+//! bucket-wise so each decision sees only the traffic since the last
+//! tick, not the whole run's history.
+
+use ntt_obs::{BucketCount, HistogramSnapshot};
+use std::time::Duration;
+
+/// Latency-SLO knobs for the adaptive controller.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// The queue-wait + service p99 the controller tries to hold.
+    pub p99_target: Duration,
+    /// Lower bound for the tuned `max_batch`.
+    pub min_batch: usize,
+    /// Upper bound for the tuned `max_batch`.
+    pub max_batch: usize,
+    /// Controller period: how often each pool is re-evaluated.
+    pub tick: Duration,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            p99_target: Duration::from_millis(5),
+            min_batch: 1,
+            max_batch: 64,
+            tick: Duration::from_millis(20),
+        }
+    }
+}
+
+/// What one controller tick observed for one pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickObservation {
+    /// Requests that completed service during the tick.
+    pub requests: u64,
+    /// End-to-end p99 for the tick (queue wait + service), nanoseconds.
+    pub p99_ns: f64,
+    /// Queue-wait p99 alone — the backlog signal that separates "full
+    /// batches because demand is piling up" from "full batches because
+    /// arrivals exactly match the limit".
+    pub wait_p99_ns: f64,
+    /// Service p99 alone.
+    pub service_p99_ns: f64,
+    /// Mean coalesced batch size during the tick.
+    pub mean_fill: f64,
+}
+
+/// Bucket-wise subtraction of two cumulative snapshots: the traffic
+/// between `prev` and `cur`. Histograms only grow, so for genuine
+/// before/after pairs every per-bucket difference is non-negative;
+/// defensive saturation keeps a mismatched pair from wrapping.
+pub fn delta(cur: &HistogramSnapshot, prev: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut buckets: Vec<BucketCount> = Vec::with_capacity(cur.buckets.len());
+    let mut prev_it = prev.buckets.iter().peekable();
+    for b in &cur.buckets {
+        let mut count = b.count;
+        while let Some(p) = prev_it.peek() {
+            if p.lo < b.lo {
+                prev_it.next();
+            } else {
+                if p.lo == b.lo {
+                    count = count.saturating_sub(p.count);
+                    prev_it.next();
+                }
+                break;
+            }
+        }
+        if count > 0 {
+            buckets.push(BucketCount {
+                lo: b.lo,
+                hi: b.hi,
+                count,
+            });
+        }
+    }
+    HistogramSnapshot {
+        count: cur.count.saturating_sub(prev.count),
+        sum: cur.sum.saturating_sub(prev.sum),
+        buckets,
+    }
+}
+
+/// Per-pool delta tracker: feed it cumulative snapshots each tick, get
+/// back the tick-local observation (or `None` when nothing completed —
+/// an idle pool gives the controller no evidence to act on).
+#[derive(Default)]
+pub struct PoolTracker {
+    prev_wait: HistogramSnapshot,
+    prev_service: HistogramSnapshot,
+    prev_batch: HistogramSnapshot,
+}
+
+impl PoolTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute the tick-local observation from cumulative queue-wait /
+    /// service / batch-size snapshots, and advance the baseline.
+    pub fn observe(
+        &mut self,
+        wait: HistogramSnapshot,
+        service: HistogramSnapshot,
+        batch: HistogramSnapshot,
+    ) -> Option<TickObservation> {
+        let dw = delta(&wait, &self.prev_wait);
+        let ds = delta(&service, &self.prev_service);
+        let db = delta(&batch, &self.prev_batch);
+        self.prev_wait = wait;
+        self.prev_service = service;
+        self.prev_batch = batch;
+        if dw.count == 0 || db.count == 0 {
+            return None;
+        }
+        // End-to-end p99 ≈ wait p99 + service p99: an upper estimate
+        // (the two maxima need not coincide), which errs toward
+        // shrinking batches — the safe direction for a latency SLO.
+        let service_p99 = if ds.count > 0 { ds.quantile(0.99) } else { 0.0 };
+        let wait_p99 = dw.quantile(0.99);
+        Some(TickObservation {
+            requests: dw.count,
+            p99_ns: wait_p99 + service_p99,
+            wait_p99_ns: wait_p99,
+            service_p99_ns: service_p99,
+            mean_fill: db.mean(),
+        })
+    }
+}
+
+/// One AIMD step: the next `max_batch` for a pool that observed `obs`
+/// at the current limit `cur`. Pure, total, clamped to
+/// `[slo.min_batch.max(1), slo.max_batch]`.
+pub fn next_max_batch(cur: usize, obs: &TickObservation, slo: &SloConfig) -> usize {
+    let lo = slo.min_batch.max(1);
+    let hi = slo.max_batch.max(lo);
+    let target_ns = slo.p99_target.as_nanos() as f64;
+    // "Saturated" = batches fill to within one request of the limit on
+    // average; below that, claims are cutting early and the gather
+    // window (not demand) is what holds requests back.
+    let saturated = obs.mean_fill + 0.5 >= cur as f64;
+    // Backlog evidence: requests spend longer waiting than being
+    // served. Full batches *without* this just mean arrivals match the
+    // limit — growing then only re-opens the gather wait (the probe
+    // oscillation that wrecks p99 at exactly-saturating load).
+    let backlogged = obs.wait_p99_ns > obs.service_p99_ns;
+    let next = if obs.p99_ns > target_ns {
+        if saturated {
+            cur.saturating_mul(2)
+        } else {
+            cur / 2
+        }
+    } else if obs.p99_ns <= target_ns / 2.0 && saturated && backlogged {
+        cur + 1
+    } else {
+        cur
+    };
+    next.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntt_obs::Histogram;
+
+    fn slo() -> SloConfig {
+        SloConfig {
+            p99_target: Duration::from_millis(1),
+            min_batch: 1,
+            max_batch: 32,
+            tick: Duration::from_millis(10),
+        }
+    }
+
+    /// Observation whose queue wait dominates service (backlogged).
+    fn obs(p99_ms: f64, mean_fill: f64) -> TickObservation {
+        TickObservation {
+            requests: 100,
+            p99_ns: p99_ms * 1e6,
+            wait_p99_ns: p99_ms * 0.8e6,
+            service_p99_ns: p99_ms * 0.2e6,
+            mean_fill,
+        }
+    }
+
+    #[test]
+    fn slow_and_underfilled_halves() {
+        // Gather wait is the latency: back off multiplicatively.
+        assert_eq!(next_max_batch(32, &obs(4.0, 2.0), &slo()), 16);
+        assert_eq!(next_max_batch(16, &obs(4.0, 2.0), &slo()), 8);
+        // ...down to the floor, never below (0.4 mean fill means even a
+        // limit of 1 is not saturated, so the step keeps shrinking).
+        assert_eq!(next_max_batch(1, &obs(4.0, 0.4), &slo()), 1);
+    }
+
+    #[test]
+    fn slow_and_saturated_doubles() {
+        // Full batches and still over target: coalesce harder.
+        assert_eq!(next_max_batch(4, &obs(4.0, 4.0), &slo()), 8);
+        // Clamped at the ceiling.
+        assert_eq!(next_max_batch(32, &obs(4.0, 32.0), &slo()), 32);
+    }
+
+    #[test]
+    fn fast_saturated_and_backlogged_creeps_up() {
+        assert_eq!(next_max_batch(4, &obs(0.2, 4.0), &slo()), 5);
+    }
+
+    #[test]
+    fn fast_and_saturated_without_backlog_holds() {
+        // Batches full, SLO comfortable, but wait ≪ service: arrivals
+        // exactly match the limit. Growing would only re-open the
+        // gather window — hold instead (the anti-oscillation guard).
+        let o = TickObservation {
+            requests: 100,
+            p99_ns: 0.2e6,
+            wait_p99_ns: 0.01e6,
+            service_p99_ns: 0.19e6,
+            mean_fill: 4.0,
+        };
+        assert_eq!(next_max_batch(4, &o, &slo()), 4);
+    }
+
+    #[test]
+    fn comfortable_or_underfilled_holds() {
+        // Under target but batches not full: nothing to fix.
+        assert_eq!(next_max_batch(8, &obs(0.2, 2.0), &slo()), 8);
+        // Between target/2 and target: in the deadband, hold.
+        assert_eq!(next_max_batch(8, &obs(0.8, 8.0), &slo()), 8);
+    }
+
+    #[test]
+    fn bounds_are_respected_even_when_misconfigured() {
+        let bad = SloConfig {
+            min_batch: 0,
+            max_batch: 0,
+            ..slo()
+        };
+        assert_eq!(next_max_batch(16, &obs(4.0, 16.0), &bad), 1);
+    }
+
+    #[test]
+    fn delta_subtracts_cumulative_snapshots() {
+        let h = Histogram::new();
+        h.record_always(100);
+        h.record_always(100);
+        let before = h.snapshot();
+        h.record_always(100);
+        h.record_always(1_000_000);
+        let after = h.snapshot();
+        let d = delta(&after, &before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 100 + 1_000_000);
+        assert_eq!(d.buckets.iter().map(|b| b.count).sum::<u64>(), 2);
+        // Unchanged buckets vanish from the delta entirely.
+        let none = delta(&after, &after);
+        assert_eq!(none.count, 0);
+        assert!(none.buckets.is_empty());
+    }
+
+    #[test]
+    fn tracker_reports_per_tick_views_and_idle_none() {
+        let wait = Histogram::new();
+        let service = Histogram::new();
+        let batch = Histogram::new();
+        let mut tracker = PoolTracker::new();
+        // Tick 1: nothing happened.
+        assert_eq!(
+            tracker.observe(wait.snapshot(), service.snapshot(), batch.snapshot()),
+            None
+        );
+        // Traffic: 4 requests in one batch of 4, slow waits.
+        for _ in 0..4 {
+            wait.record_always(2_000_000);
+        }
+        service.record_always(500_000);
+        batch.record_always(4);
+        let o = tracker
+            .observe(wait.snapshot(), service.snapshot(), batch.snapshot())
+            .expect("tick saw traffic");
+        assert_eq!(o.requests, 4);
+        assert!((o.mean_fill - 4.0).abs() < 1e-9);
+        assert!(o.p99_ns > 1e6, "p99 reflects the slow waits");
+        // Tick 3: idle again -> None, baseline advanced.
+        assert_eq!(
+            tracker.observe(wait.snapshot(), service.snapshot(), batch.snapshot()),
+            None
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! End-to-end loopback tests: a real `NetServer` on an ephemeral port,
+//! real `NetClient`s, real threads. The core contract is the
+//! acceptance bar from the serving tier's issue: predictions that
+//! crossed the wire are **byte-identical** to calling
+//! `InferenceEngine::predict` directly — TCP framing, routing, and
+//! batcher coalescing add exactly zero numeric surface. On top of
+//! that: exact overload accounting (every request is answered or
+//! typed-shed, nothing vanishes), stable error codes for routing
+//! misses, unix-socket parity, and the SLO controller demonstrably
+//! shrinking `max_batch` at low load.
+
+use ntt_core::{Aggregation, DelayHead, MctHead, Ntt, NttConfig};
+use ntt_data::{Normalizer, NUM_FEATURES};
+use ntt_net::adaptive::SloConfig;
+use ntt_net::{ErrorCode, NetClient, NetConfig, NetServer};
+use ntt_serve::{BatchConfig, InferenceEngine, ModelRegistry};
+use ntt_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_engine(seed: u64) -> InferenceEngine {
+    let cfg = NttConfig {
+        aggregation: Aggregation::MultiScale { block: 1 }, // seq 64
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        seed,
+        ..NttConfig::default()
+    };
+    let heads: Vec<Box<dyn ntt_nn::Head>> = vec![
+        Box::new(DelayHead::new(cfg.d_model, 1)),
+        Box::new(MctHead::new(cfg.d_model, 2)),
+    ];
+    InferenceEngine::from_parts(Ntt::new(cfg), heads, Normalizer::identity(NUM_FEATURES))
+}
+
+fn registry_with(models: &[(&str, u64)]) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    for &(name, seed) in models {
+        registry.insert(name, tiny_engine(seed));
+    }
+    registry
+}
+
+/// Deterministic per-request windows: row `i` of a fixed random batch.
+fn windows(engine: &InferenceEngine, n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let all = Tensor::randn(&[n, engine.seq_len(), NUM_FEATURES], seed);
+    let row = engine.seq_len() * NUM_FEATURES;
+    (0..n)
+        .map(|i| all.data()[i * row..(i + 1) * row].to_vec())
+        .collect()
+}
+
+fn direct_prediction(engine: &InferenceEngine, head: &str, window: &[f32]) -> f32 {
+    let x = Tensor::from_vec(window.to_vec(), &[1, engine.seq_len(), NUM_FEATURES]);
+    engine.predict(head, &x, None).item()
+}
+
+#[test]
+fn eight_connections_are_byte_identical_to_direct_predict() {
+    let registry = registry_with(&[("pretrain", 11), ("finetune", 12)]);
+    let server = NetServer::bind_tcp(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        NetConfig {
+            pool: BatchConfig {
+                max_batch: 8,
+                workers: 2,
+                ..BatchConfig::default()
+            },
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().expect("tcp server has an address");
+
+    // 8 client threads, each its own connection, each alternating
+    // between the two models so routing and pool creation race.
+    const CONNS: usize = 8;
+    const PER_CONN: usize = 10;
+    let results: Vec<Vec<(String, usize, f32)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CONNS)
+            .map(|c| {
+                let registry = &registry;
+                s.spawn(move || {
+                    let model = if c % 2 == 0 { "pretrain" } else { "finetune" };
+                    let engine = registry.get(model).expect("model registered");
+                    let wins = windows(&engine, PER_CONN, 0x100 + c as u64);
+                    let mut client = NetClient::connect_tcp(addr).expect("connect");
+                    wins.iter()
+                        .enumerate()
+                        .map(|(i, w)| {
+                            let v = client
+                                .predict(model, "delay", w, None, None)
+                                .expect("served prediction");
+                            (model.to_string(), i, v)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Byte-identical to the in-process engine, request by request.
+    for (c, per_conn) in results.iter().enumerate() {
+        let model = if c % 2 == 0 { "pretrain" } else { "finetune" };
+        let engine = registry.get(model).expect("model registered");
+        let wins = windows(&engine, PER_CONN, 0x100 + c as u64);
+        assert_eq!(per_conn.len(), PER_CONN);
+        for (got_model, i, served) in per_conn {
+            assert_eq!(got_model, model);
+            let direct = direct_prediction(&engine, "delay", &wins[*i]);
+            assert_eq!(
+                served.to_bits(),
+                direct.to_bits(),
+                "conn {c} window {i}: wire prediction diverged from direct predict"
+            );
+        }
+    }
+    drop(server);
+}
+
+#[test]
+fn overload_and_deadline_shed_with_exact_accounting() {
+    let registry = registry_with(&[("pretrain", 21)]);
+    // A deliberately tiny pool: 1 worker, singleton batches, 4-deep
+    // queue — so 8 connections re-submitting as fast as they can *must*
+    // shed, and short-deadline requests *must* expire in queue.
+    let server = NetServer::bind_tcp(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        NetConfig {
+            pool: BatchConfig {
+                max_batch: 1,
+                workers: 1,
+                queue_cap: 4,
+                ..BatchConfig::default()
+            },
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().expect("addr");
+    let engine = registry.get("pretrain").expect("registered");
+
+    const CONNS: usize = 8;
+    const PER_CONN: usize = 25;
+    let tallies: Vec<(usize, usize, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CONNS)
+            .map(|c| {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    let wins = windows(&engine, 4, 0x900 + c as u64);
+                    let mut client = NetClient::connect_tcp(addr).expect("connect");
+                    let (mut ok, mut overloaded, mut deadline) = (0usize, 0usize, 0usize);
+                    for i in 0..PER_CONN {
+                        // Odd requests carry a deadline far below the
+                        // model's forward-pass time, so any queueing at
+                        // all expires them.
+                        let d = (i % 2 == 1).then(|| Duration::from_micros(200));
+                        match client.predict("pretrain", "delay", &wins[i % 4], None, d) {
+                            Ok(_) => ok += 1,
+                            Err(e) => match e.code() {
+                                Some(ErrorCode::Overloaded) => overloaded += 1,
+                                Some(ErrorCode::DeadlineExceeded) => deadline += 1,
+                                other => panic!("unexpected failure {other:?}: {e}"),
+                            },
+                        }
+                    }
+                    (ok, overloaded, deadline)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok: usize = tallies.iter().map(|t| t.0).sum();
+    let overloaded: usize = tallies.iter().map(|t| t.1).sum();
+    let deadline: usize = tallies.iter().map(|t| t.2).sum();
+    // Exact accounting: every request sent got exactly one answer, and
+    // every answer was ok / overloaded / deadline-exceeded.
+    assert_eq!(
+        ok + overloaded + deadline,
+        CONNS * PER_CONN,
+        "requests vanished or were double-counted"
+    );
+    assert!(ok > 0, "nothing succeeded — the pool never served");
+    assert!(
+        overloaded + deadline > 0,
+        "an 8-way hammer against a 4-deep queue never shed"
+    );
+    drop(server);
+}
+
+#[test]
+fn routing_misses_return_stable_codes() {
+    let registry = registry_with(&[("pretrain", 31)]);
+    let server = NetServer::bind_tcp("127.0.0.1:0", Arc::clone(&registry), NetConfig::default())
+        .expect("bind");
+    let addr = server.tcp_addr().expect("addr");
+    let engine = registry.get("pretrain").expect("registered");
+    let w = windows(&engine, 1, 7).remove(0);
+    let mut client = NetClient::connect_tcp(addr).expect("connect");
+
+    let e = client
+        .predict("nope", "delay", &w, None, None)
+        .expect_err("unknown model must fail");
+    assert_eq!(e.code(), Some(ErrorCode::UnknownModel));
+    assert!(
+        e.to_string().contains("pretrain"),
+        "the error names what IS registered: {e}"
+    );
+
+    let e = client
+        .predict("pretrain", "nope", &w, None, None)
+        .expect_err("unknown head must fail");
+    assert_eq!(e.code(), Some(ErrorCode::UnknownHead));
+
+    let e = client
+        .predict("pretrain", "delay", &w[..10], None, None)
+        .expect_err("short window must fail");
+    assert_eq!(e.code(), Some(ErrorCode::WindowLength));
+
+    let e = client
+        .predict("pretrain", "delay", &w, Some(1.0), None)
+        .expect_err("delay head takes no aux");
+    assert_eq!(e.code(), Some(ErrorCode::AuxMismatch));
+
+    // The connection survives typed errors: a good request still works.
+    let served = client
+        .predict("pretrain", "delay", &w, None, None)
+        .expect("good request after typed errors");
+    assert_eq!(
+        served.to_bits(),
+        direct_prediction(&engine, "delay", &w).to_bits()
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_serves_identically_to_tcp() {
+    let registry = registry_with(&[("pretrain", 41)]);
+    let path = std::env::temp_dir().join(format!("ntt_net_test_{}.sock", std::process::id()));
+    let server = NetServer::bind_unix(&path, Arc::clone(&registry), NetConfig::default())
+        .expect("bind unix");
+    let engine = registry.get("pretrain").expect("registered");
+    let wins = windows(&engine, 4, 51);
+    let mut client = NetClient::connect_unix(&path).expect("connect unix");
+    for w in &wins {
+        let served = client
+            .predict("pretrain", "delay", w, None, None)
+            .expect("unix prediction");
+        assert_eq!(
+            served.to_bits(),
+            direct_prediction(&engine, "delay", w).to_bits()
+        );
+    }
+    drop(server);
+    assert!(!path.exists(), "socket file must be removed on server drop");
+}
+
+#[test]
+fn connection_cap_sheds_with_a_typed_frame() {
+    let registry = registry_with(&[("pretrain", 61)]);
+    let server = NetServer::bind_tcp(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        NetConfig {
+            max_connections: 1,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().expect("addr");
+    let engine = registry.get("pretrain").expect("registered");
+    let w = windows(&engine, 1, 71).remove(0);
+
+    // First connection occupies the only slot (proven live by a
+    // request); the second must receive one Overloaded frame.
+    let mut first = NetClient::connect_tcp(addr).expect("connect first");
+    first
+        .predict("pretrain", "delay", &w, None, None)
+        .expect("first connection serves");
+    // The overflow peer may need a beat: the accept loop sheds only
+    // once the first connection's thread is counted.
+    let mut last_err = None;
+    for _ in 0..50 {
+        let mut second = NetClient::connect_tcp(addr).expect("connect second");
+        match second.predict("pretrain", "delay", &w, None, None) {
+            Err(e) => {
+                if e.code() == Some(ErrorCode::Overloaded) {
+                    last_err = Some(e);
+                    break;
+                }
+                // Io error (connection closed before the shed frame
+                // arrived) — retry; the cap itself is what we assert.
+                last_err = Some(e);
+            }
+            Ok(_) => {
+                // The slot freed (first conn thread not yet counted);
+                // keep hammering.
+                last_err = None;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let e = last_err.expect("overflow connection never rejected");
+    assert_eq!(
+        e.code(),
+        Some(ErrorCode::Overloaded),
+        "overflow connection got {e} instead of a typed Overloaded frame"
+    );
+    drop(first);
+    drop(server);
+}
+
+#[test]
+fn adaptive_controller_shrinks_max_batch_at_low_load() {
+    let registry = registry_with(&[("pretrain", 81)]);
+    // Start oversized: max_batch 32 with a 5ms gather window means a
+    // lone request waits out the window before its batch is cut. At a
+    // serial trickle the controller must observe under-filled batches
+    // missing the 2ms SLO and halve its way down.
+    let server = NetServer::bind_tcp(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        NetConfig {
+            pool: BatchConfig {
+                max_batch: 32,
+                workers: 1,
+                gather: Some(Duration::from_millis(5)),
+                ..BatchConfig::default()
+            },
+            slo: Some(SloConfig {
+                p99_target: Duration::from_millis(2),
+                min_batch: 1,
+                max_batch: 32,
+                tick: Duration::from_millis(20),
+            }),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.tcp_addr().expect("addr");
+    let engine = registry.get("pretrain").expect("registered");
+    let wins = windows(&engine, 4, 91);
+    let mut client = NetClient::connect_tcp(addr).expect("connect");
+
+    // Serial low load for ~0.5s: every request eats the gather wait, so
+    // the controller keeps seeing p99 >> target with mean fill ≈ 1.
+    let t0 = std::time::Instant::now();
+    let mut sent = 0usize;
+    while t0.elapsed() < Duration::from_millis(500) {
+        client
+            .predict("pretrain", "delay", &wins[sent % 4], None, None)
+            .expect("low-load prediction");
+        sent += 1;
+    }
+    let tuned = server
+        .pool_max_batch("pretrain", "delay")
+        .expect("pool exists after traffic");
+    assert!(
+        tuned < 32,
+        "controller never shrank max_batch from 32 (still {tuned}) after {sent} serial requests"
+    );
+    drop(server);
+}

@@ -1,0 +1,244 @@
+//! Property tests of the NTTWIRE1 codec — the pure functions a remote
+//! peer's bytes flow through. Three contracts: (1) encode→decode is the
+//! identity for every well-formed request and response; (2) no
+//! truncation of a valid body decodes (exact-consumption framing means
+//! no frame is a prefix of another); (3) arbitrary mangled bytes and
+//! hostile length prefixes produce typed `FrameError`s — never a
+//! panic, and never an allocation sized by attacker-controlled input
+//! beyond the protocol's hard `MAX_BODY`.
+
+use ntt_net::frame::{
+    body_len, decode_body, encode_request, encode_response, FrameError, MAX_BODY, MAX_NAME,
+    MAX_WINDOW,
+};
+use ntt_net::{ErrorCode, Frame, Request, Response, WireError};
+use proptest::prelude::*;
+
+/// Lowercase-ASCII name from raw bytes (the shim has no string
+/// strategy; mapping keeps names valid UTF-8 with varied lengths).
+fn name_from(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| (b'a' + b % 26) as char).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_roundtrips_exactly(
+        id in any::<u64>(),
+        model_bytes in proptest::collection::vec(0u8..255, 0..40),
+        head_bytes in proptest::collection::vec(0u8..255, 0..16),
+        deadline_micros in 0u32..=u32::MAX,
+        has_aux in any::<bool>(),
+        aux_val in -1.0e6f32..1.0e6,
+        window in proptest::collection::vec(-1.0e6f32..1.0e6, 0..200),
+    ) {
+        let req = Request {
+            id,
+            model: name_from(&model_bytes),
+            head: name_from(&head_bytes),
+            deadline_micros,
+            aux: has_aux.then_some(aux_val),
+            window,
+        };
+        let bytes = encode_request(&req).expect("in-limit request encodes");
+        // The frame is self-describing: prefix + body, nothing else.
+        let mut prefix = [0u8; 4];
+        prefix.copy_from_slice(&bytes[..4]);
+        let len = body_len(prefix).expect("own prefix validates");
+        prop_assert_eq!(len, bytes.len() - 4);
+        match decode_body(&bytes[4..]).expect("own body decodes") {
+            Frame::Request(got) => {
+                prop_assert_eq!(got.id, req.id);
+                prop_assert_eq!(got.model, req.model);
+                prop_assert_eq!(got.head, req.head);
+                prop_assert_eq!(got.deadline_micros, req.deadline_micros);
+                // f32 payloads round-trip bit for bit, not approximately.
+                prop_assert_eq!(got.aux.map(f32::to_bits), req.aux.map(f32::to_bits));
+                let got_bits: Vec<u32> = got.window.iter().map(|f| f.to_bits()).collect();
+                let want_bits: Vec<u32> = req.window.iter().map(|f| f.to_bits()).collect();
+                prop_assert_eq!(got_bits, want_bits);
+            }
+            Frame::Response(_) => prop_assert!(false, "request decoded as response"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_exactly(
+        id in any::<u64>(),
+        is_ok in any::<bool>(),
+        value in -1.0e9f32..1.0e9,
+        // Code 0 is reserved on the wire for success — an error frame
+        // can carry any *nonzero* code (unknown ones round-trip as
+        // `Unrecognized`).
+        code in 1u16..32,
+        detail_bytes in proptest::collection::vec(0u8..255, 0..80),
+    ) {
+        let resp = Response {
+            id,
+            result: if is_ok {
+                Ok(value)
+            } else {
+                Err(WireError { code: ErrorCode::from_u16(code), detail: name_from(&detail_bytes) })
+            },
+        };
+        let bytes = encode_response(&resp);
+        let mut prefix = [0u8; 4];
+        prefix.copy_from_slice(&bytes[..4]);
+        let len = body_len(prefix).expect("own prefix validates");
+        prop_assert_eq!(len, bytes.len() - 4);
+        match decode_body(&bytes[4..]).expect("own body decodes") {
+            Frame::Response(got) => {
+                prop_assert_eq!(got.id, resp.id);
+                match (got.result, resp.result) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+                    (Err(a), Err(b)) => {
+                        prop_assert_eq!(a.code, b.code);
+                        prop_assert_eq!(a.detail, b.detail);
+                    }
+                    _ => prop_assert!(false, "ok/err flipped in transit"),
+                }
+            }
+            Frame::Request(_) => prop_assert!(false, "response decoded as request"),
+        }
+    }
+
+    /// No truncation of a valid body decodes: the codec consumes every
+    /// byte it is told exists, so cutting the body anywhere yields a
+    /// typed error (`Truncated` mid-field, or any other `FrameError` —
+    /// never success, never a panic). This is what keeps a stream that
+    /// lost bytes from silently resynchronizing on garbage.
+    #[test]
+    fn truncations_never_decode(
+        id in 0u64..1000,
+        window in proptest::collection::vec(-10.0f32..10.0, 1..40),
+        model_bytes in proptest::collection::vec(0u8..255, 1..20),
+        cut_seed in any::<u64>(),
+    ) {
+        let req = Request {
+            id,
+            model: name_from(&model_bytes),
+            head: "delay".into(),
+            deadline_micros: 0,
+            aux: Some(0.5),
+            window,
+        };
+        let bytes = encode_request(&req).expect("encodes");
+        let body = &bytes[4..];
+        // Every strictly shorter prefix of the body must fail.
+        let cut = (cut_seed % body.len() as u64) as usize;
+        prop_assert!(
+            decode_body(&body[..cut]).is_err(),
+            "truncated body ({cut} of {} bytes) decoded",
+            body.len()
+        );
+        // And a body with trailing junk must fail too (exact consumption).
+        let mut padded = body.to_vec();
+        padded.push(0);
+        let padded_rejected = matches!(
+            decode_body(&padded),
+            Err(FrameError::TrailingBytes { extra: _ }) | Err(FrameError::Truncated)
+        );
+        prop_assert!(padded_rejected);
+    }
+
+    /// Single-byte corruption anywhere in a valid body either decodes
+    /// to *some* frame (the flipped byte landed in a payload field) or
+    /// returns a typed error — it never panics and never allocates
+    /// beyond protocol limits. Run under the workspace's test harness
+    /// this doubles as a fuzz smoke for the Cursor bounds checks.
+    #[test]
+    fn mangled_bodies_never_panic(
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+        window in proptest::collection::vec(-10.0f32..10.0, 0..30),
+    ) {
+        let req = Request {
+            id: 7,
+            model: "pretrain".into(),
+            head: "delay".into(),
+            deadline_micros: 1000,
+            aux: None,
+            window,
+        };
+        let bytes = encode_request(&req).expect("encodes");
+        let mut body = bytes[4..].to_vec();
+        let pos = (pos_seed % body.len() as u64) as usize;
+        body[pos] ^= xor;
+        // Must return, Ok or typed Err — the assertion is "no panic,
+        // no unbounded allocation", enforced by running to completion.
+        let _ = decode_body(&body);
+    }
+
+    /// The length prefix is attacker-controlled; `body_len` must reject
+    /// anything over `MAX_BODY` *before* any allocation happens, and
+    /// anything too small to hold magic + kind.
+    #[test]
+    fn hostile_length_prefixes_are_rejected_before_allocation(len in 0u32..=u32::MAX) {
+        let prefix = len.to_le_bytes();
+        match body_len(prefix) {
+            Ok(n) => {
+                prop_assert!(n as u64 == u64::from(len));
+                prop_assert!(n <= MAX_BODY);
+                prop_assert!(n >= 9, "magic (8) + kind (1) minimum");
+            }
+            Err(FrameError::Oversized { len: l, max }) => {
+                prop_assert_eq!(l, u64::from(len));
+                prop_assert_eq!(max, MAX_BODY);
+                prop_assert!((len as usize) > MAX_BODY);
+            }
+            Err(FrameError::Truncated) => prop_assert!(len < 9),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_names_and_windows_refuse_to_encode() {
+    let req = Request {
+        id: 1,
+        model: "m".repeat(MAX_NAME + 1),
+        head: "delay".into(),
+        deadline_micros: 0,
+        aux: None,
+        window: vec![0.0; 4],
+    };
+    assert!(matches!(
+        encode_request(&req),
+        Err(FrameError::NameTooLong { .. })
+    ));
+    let req = Request {
+        id: 1,
+        model: "m".into(),
+        head: "delay".into(),
+        deadline_micros: 0,
+        aux: None,
+        window: vec![0.0; MAX_WINDOW + 1],
+    };
+    assert!(matches!(
+        encode_request(&req),
+        Err(FrameError::WindowTooLong { .. })
+    ));
+}
+
+/// A declared window count larger than the bytes actually present must
+/// fail on the count check, not allocate `count * 4` bytes first — the
+/// regression test for length-prefix amplification.
+#[test]
+fn window_count_cannot_amplify_allocation() {
+    let req = Request {
+        id: 9,
+        model: "m".into(),
+        head: "delay".into(),
+        deadline_micros: 0,
+        aux: None,
+        window: vec![1.0; 4],
+    };
+    let bytes = encode_request(&req).expect("encodes");
+    let mut body = bytes[4..].to_vec();
+    // The window count is the last u32 before the floats; claim 2^20
+    // floats while supplying 4.
+    let count_at = body.len() - 4 * 4 - 4;
+    body[count_at..count_at + 4].copy_from_slice(&(MAX_WINDOW as u32).to_le_bytes());
+    assert!(decode_body(&body).is_err());
+}

@@ -85,6 +85,14 @@ pub struct BatchConfig {
     /// (`None` = requests wait indefinitely). Per-request override:
     /// [`Batcher::submit_with_deadline`].
     pub deadline: Option<Duration>,
+    /// How long a worker holds a freshly woken claim open for further
+    /// arrivals while the batch is below the live `max_batch` limit
+    /// (`None` = claim immediately, the pre-adaptive behavior). A
+    /// gather window trades a bounded per-request latency add for
+    /// fuller coalesced batches; pairing it with
+    /// [`Batcher::set_max_batch`] lets an SLO controller shrink the
+    /// limit at low load so the wait collapses to zero.
+    pub gather: Option<Duration>,
 }
 
 impl Default for BatchConfig {
@@ -96,6 +104,7 @@ impl Default for BatchConfig {
             queue_cap: 1024,
             max_restarts: 64,
             deadline: None,
+            gather: None,
         }
     }
 }
@@ -124,6 +133,11 @@ struct Queue {
 struct Shared {
     engine: Arc<InferenceEngine>,
     cfg: BatchConfig,
+    /// Live coalescing limit. Starts at `cfg.max_batch`; an SLO
+    /// controller (e.g. `ntt-net`'s adaptive batching) may retune it at
+    /// runtime through [`Batcher::set_max_batch`], so workers read this
+    /// per claim instead of the frozen config value.
+    max_batch: AtomicUsize,
     queue: Mutex<Queue>,
     ready: Condvar,
     /// Worker join handles — grows when a supervisor respawns a worker,
@@ -260,9 +274,11 @@ impl Batcher {
             engine.head_kinds()
         );
         let workers = cfg.workers;
+        let max_batch = cfg.max_batch;
         let shared = Arc::new(Shared {
             engine,
             cfg,
+            max_batch: AtomicUsize::new(max_batch),
             queue: Mutex::new(Queue {
                 pending: VecDeque::new(),
                 shutdown: false,
@@ -391,6 +407,25 @@ impl Batcher {
             .unwrap_or_else(|e| e.into_inner())
             .shutdown = true;
         self.shared.ready.notify_all();
+    }
+
+    /// The live coalescing limit: how many queued requests one claim
+    /// may stack into a single forward pass right now. Starts at
+    /// [`BatchConfig::max_batch`].
+    pub fn max_batch(&self) -> usize {
+        self.shared.max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Retune the coalescing limit at runtime (clamped to >= 1; takes
+    /// effect from the next claim — a batch already being stacked is
+    /// not re-cut). This is the knob `ntt-net`'s SLO-adaptive
+    /// controller drives to hold a p99 latency target: shrink it when
+    /// the gather window is the latency, grow it when saturated batches
+    /// say coalescing would help.
+    pub fn set_max_batch(&self, n: usize) {
+        let n = n.max(1);
+        self.shared.max_batch.store(n, Ordering::Relaxed);
+        ntt_obs::gauge!("serve.max_batch").set(n as f64);
     }
 
     /// False once the batcher has poisoned terminally (restart budget
@@ -544,7 +579,37 @@ fn worker_loop(shared: Arc<Shared>) {
                 }
                 q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
-            let n = q.pending.len().min(shared.cfg.max_batch);
+            // Optional gather window: hold the claim open for further
+            // arrivals until the batch can fill to the live limit or
+            // the window lapses. The wait is bounded by `cfg.gather`
+            // and collapses to zero once `max_batch` requests are
+            // already pending — so an adaptive controller shrinking
+            // `max_batch` toward the observed concurrency removes the
+            // gather latency entirely at low load.
+            if let Some(gather) = shared.cfg.gather {
+                let t0 = Instant::now();
+                while q.pending.len() < shared.max_batch.load(Ordering::Relaxed)
+                    && !q.shutdown
+                    && !q.poisoned
+                {
+                    let left = match gather.checked_sub(t0.elapsed()) {
+                        Some(d) if !d.is_zero() => d,
+                        _ => break,
+                    };
+                    let (guard, _) = shared
+                        .ready
+                        .wait_timeout(q, left)
+                        .unwrap_or_else(|e| e.into_inner());
+                    q = guard;
+                }
+                if q.pending.is_empty() {
+                    continue; // a sibling worker drained it mid-gather
+                }
+            }
+            let n = q
+                .pending
+                .len()
+                .min(shared.max_batch.load(Ordering::Relaxed).max(1));
             let claimed: Vec<Request> = q.pending.drain(..n).collect();
             ntt_obs::gauge!("serve.queue_depth").set(q.pending.len() as f64);
             drop(q);
@@ -1165,6 +1230,76 @@ mod tests {
         assert_eq!(m.service_ns.count, 1);
         // Both requests were claimed before the crash point.
         assert_eq!(m.queue_wait_ns.count, 2);
+    }
+
+    #[test]
+    fn gather_window_coalesces_trickled_arrivals() {
+        // With a generous gather window the worker holds its claim open
+        // until the batch fills, so requests trickling in one at a time
+        // still coalesce into a single forward pass.
+        let eng = Arc::new(tiny_engine(0.0));
+        let ws = windows(&eng, 4, 21);
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 4,
+                workers: 1,
+                gather: Some(Duration::from_millis(500)),
+                ..BatchConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = ws
+            .iter()
+            .map(|w| {
+                let t = batcher.submit(w.clone(), None).unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+                t
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().unwrap().is_finite());
+        }
+        let stats = batcher.stats();
+        assert_eq!(
+            stats.batches, 1,
+            "gather must hold the claim open until the batch fills"
+        );
+        assert_eq!(stats.largest_batch, 4);
+    }
+
+    #[test]
+    fn runtime_max_batch_retune_takes_effect() {
+        // Shrinking the live limit to 1 makes the gather loop exit
+        // immediately (a single pending request already fills the
+        // batch), so a long gather window adds no latency.
+        let eng = Arc::new(tiny_engine(0.0));
+        let ws = windows(&eng, 3, 22);
+        let batcher = Batcher::new(
+            Arc::clone(&eng),
+            BatchConfig {
+                max_batch: 8,
+                workers: 1,
+                gather: Some(Duration::from_secs(30)),
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(batcher.max_batch(), 8);
+        batcher.set_max_batch(0); // clamps to 1
+        assert_eq!(batcher.max_batch(), 1);
+        let t0 = Instant::now();
+        for w in &ws {
+            let t = batcher.submit(w.clone(), None).unwrap();
+            assert!(t.wait().unwrap().is_finite());
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "limit 1 must bypass the 30s gather window"
+        );
+        assert_eq!(
+            batcher.stats().batches,
+            3,
+            "limit 1 serves each request in its own batch"
+        );
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * [`serve`] — batched model serving: checkpoint registry, grad-free
 //!   inference engine, streaming sessions, micro-batching request
 //!   coalescing, and a live sim → features → predictions loop
+//! * [`net`] — the wire-protocol serving tier: `NTTWIRE1` length-
+//!   prefixed binary framing over TCP/unix sockets, multi-model
+//!   routing through the registry into per-model batcher pools, stable
+//!   protocol error codes for every serving failure, and SLO-adaptive
+//!   max-batch control holding a p99 target
 //! * [`obs`] — zero-overhead observability: process-global counters,
 //!   gauges, log-scale latency histograms, RAII span timers, and
 //!   JSON/Prometheus snapshot export (`NTT_OBS=off` kill switch)
@@ -44,6 +49,7 @@ pub use ntt_chaos as chaos;
 pub use ntt_core as core;
 pub use ntt_data as data;
 pub use ntt_fleet as fleet;
+pub use ntt_net as net;
 pub use ntt_nn as nn;
 pub use ntt_obs as obs;
 pub use ntt_serve as serve;
